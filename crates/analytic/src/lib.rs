@@ -1,0 +1,26 @@
+//! # sal-analytic — closed-form models from the paper's §V
+//!
+//! The paper validates its simulated links against two hand-derived
+//! cycle-delay equations and two simple cost models. This crate
+//! implements all four so the benchmark harness can cross-check the
+//! gate-level simulation against the analysis, exactly as the paper
+//! checks its ≈311 MFlit/s per-word upper bound against Fig 10:
+//!
+//! * [`PerTransferDelay`] — `D = k·(s·Tp + Treqreq + Treqack + Tackack
+//!   + Tackout) + Tnextflit` (paper Fig 15, with `k` slices and `s`
+//!   wire segments).
+//! * [`PerWordDelay`] — `D = 2s·Tp + 2B·Tinv + Tvalidwordack + Tackout
+//!   + Tburst` (paper Fig 16).
+//! * [`sync_wires_needed`] / [`async_wires_needed`] — the Fig 10
+//!   bandwidth-versus-wires trade-off.
+//! * Wiring area (Fig 11) comes from
+//!   [`WireModel::area_um2`](sal_tech::WireModel::area_um2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod wires;
+
+pub use delay::{PerTransferDelay, PerWordDelay};
+pub use wires::{async_wires_needed, fig10_series, sync_wires_needed, Fig10Point};

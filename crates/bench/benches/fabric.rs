@@ -1,0 +1,57 @@
+//! Criterion benchmark of the gate-level switch fabric: how fast the
+//! kernel simulates a 3-switch row with serialized links end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sal_cells::CircuitBuilder;
+use sal_des::{Simulator, Time, Value};
+use sal_link::testbench::{attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource};
+use sal_link::{LinkConfig, LinkKind};
+use sal_switch::{build_row_fabric, flit};
+use sal_tech::St012Library;
+
+fn run_fabric(kind: LinkKind) -> usize {
+    let cfg = LinkConfig::default();
+    let mut sim = Simulator::new();
+    let lib = St012Library::default();
+    let mut b = CircuitBuilder::new(&mut sim, &lib);
+    let f = build_row_fabric(&mut b, "fab", 3, kind, &cfg);
+    b.finish();
+    for &r in &f.rstns {
+        sim.stimulus(r, &[(Time::ZERO, Value::zero(1)), (Time::from_ns(2), Value::one(1))]);
+    }
+    let mut sinks = Vec::new();
+    for (i, &(fi, vi, so)) in f.local_in.iter().enumerate() {
+        let words: Vec<u64> = (0..3)
+            .filter(|&d| d != i)
+            .map(|d| flit::pack(cfg.flit_width, d as u8, 0, (i * 16 + d) as u64))
+            .collect();
+        let (src, _) = SyncFlitSource::new(f.clk, so, fi, vi, cfg.flit_width, words);
+        let src = src.with_rstn(f.rstns[0]);
+        attach_sync_source(&mut sim, &format!("src{i}"), src, Time::ZERO);
+    }
+    for (i, &(fo, vo, si)) in f.local_out.iter().enumerate() {
+        let (snk, rx) = SyncFlitSink::new(f.clk, vo, fo, si);
+        attach_sync_sink(&mut sim, &format!("snk{i}"), snk, Time::ZERO);
+        sinks.push(rx);
+    }
+    sim.run_until(Time::from_us(2)).unwrap();
+    sinks.iter().map(|rx| rx.borrow().len()).sum()
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric/3_switches_6_flits");
+    g.sample_size(10);
+    for kind in [LinkKind::I1Sync, LinkKind::I3PerWord] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let delivered = run_fabric(kind);
+                assert_eq!(delivered, 6);
+                delivered
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion wrappers around each figure/table regeneration, so
+//! `cargo bench` exercises (and times) the full reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sal_bench::experiments;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig10", |b| b.iter(experiments::fig10));
+    g.bench_function("fig11", |b| b.iter(experiments::fig11));
+    g.bench_function("fig14", |b| b.iter(experiments::fig14));
+    g.bench_function("table1", |b| b.iter(experiments::table1));
+    g.bench_function("table2", |b| b.iter(experiments::table2));
+    g.bench_function("delay_check", |b| b.iter(experiments::delay_check));
+    g.finish();
+    // The buffer sweeps are heavier; keep samples minimal.
+    let mut g = c.benchmark_group("figures/power_sweeps");
+    g.sample_size(10);
+    g.bench_function("fig12", |b| b.iter(experiments::fig12));
+    g.bench_function("fig13", |b| b.iter(experiments::fig13));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of the discrete-event kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sal_cells::{CircuitBuilder, UnitLibrary};
+use sal_des::{Simulator, Time, Value};
+
+/// A free-running ring oscillator stresses the event loop.
+fn bench_event_loop(c: &mut Criterion) {
+    c.bench_function("kernel/ring_oscillator_100ns", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let lib = UnitLibrary;
+            let mut builder = CircuitBuilder::new(&mut sim, &lib);
+            let en = builder.input("en", 1);
+            let _osc = builder.ring_oscillator_stages("ro", en, 9);
+            builder.finish();
+            sim.stimulus(en, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))]);
+            sim.run_until(Time::from_ns(100)).unwrap();
+            sim.events_processed()
+        })
+    });
+}
+
+/// Wide-bus toggling exercises word-level value ops and energy
+/// accounting.
+fn bench_bus_activity(c: &mut Criterion) {
+    c.bench_function("kernel/64bit_bus_1000_toggles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let bus = sim.add_signal("bus", 64);
+            sim.set_signal_energy(bus, 1.5);
+            let sched: Vec<(Time, Value)> = (0..1000u64)
+                .map(|i| {
+                    (
+                        Time::from_ps(10 * (i + 1)),
+                        Value::from_u64(64, if i % 2 == 0 { u64::MAX } else { 0 }),
+                    )
+                })
+                .collect();
+            sim.stimulus(bus, &sched);
+            sim.run_to_quiescence().unwrap();
+            sim.toggles(bus)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_loop, bench_bus_activity
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion benchmarks of full gate-level link transfers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sal_link::measure::{run_flits, MeasureOptions};
+use sal_link::testbench::worst_case_pattern;
+use sal_link::{LinkConfig, LinkKind};
+
+fn bench_links(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link/4flit_transfer");
+    g.sample_size(10);
+    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            let cfg = LinkConfig::default();
+            let words = worst_case_pattern(4, 32);
+            b.iter(|| run_flits(kind, &cfg, &words, &MeasureOptions::default()).total_power_uw())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_links);
+criterion_main!(benches);

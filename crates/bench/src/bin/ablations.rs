@@ -1,0 +1,76 @@
+//! Ablation studies: the design-choice experiments DESIGN.md §6 lists.
+
+use sal_bench::{ablations, table};
+
+fn main() {
+    println!("Ablation 1 — early word acknowledgement (paper future work)\n");
+    let rows: Vec<Vec<String>> = ablations::early_ack()
+        .iter()
+        .map(|r| {
+            vec![
+                r.buffers.to_string(),
+                format!("{:.0}", r.baseline_mflits),
+                format!("{:.0}", r.early_mflits),
+                format!("{:+.0}%", (r.early_mflits / r.baseline_mflits - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(&["buffers", "I3 (MFlit/s)", "I3 early-ack", "gain"], &rows)
+    );
+
+    println!("\nAblation 2 — slice width (wires vs throughput vs power)\n");
+    let rows: Vec<Vec<String>> = ablations::slice_width()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("32->{}", r.slice_width),
+                r.wires.to_string(),
+                format!("{:.0}", r.saturation_mflits),
+                format!("{:.0}", r.power_uw),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(&["serialization", "wires", "saturation (MFlit/s)", "power(uW)"], &rows)
+    );
+
+    println!("\nAblation 3 — receiver style (paper Fig 14 discussion)\n");
+    let rows: Vec<Vec<String>> = ablations::rx_style()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.style),
+                format!("{:.1}", r.des_power_uw),
+                format!("{:.0}", r.total_power_uw),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(&["style", "deserializer power(uW)", "link power(uW)"], &rows)
+    );
+
+    println!("\nAblation 4 — technology corners\n");
+    let rows: Vec<Vec<String>> = ablations::corners()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.corner),
+                format!("{:.0}", r.i3_saturation_mflits),
+                format!("{:.0}", r.i1_mflits),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(&["corner", "I3 self-timed (MFlit/s)", "I1 @300MHz clock"], &rows)
+    );
+    println!(
+        "\nThe self-timed link tracks the silicon corner; the synchronous link\n\
+         is pinned to its clock at every corner (and at the slow corner its\n\
+         clock margin would have to be re-validated)."
+    );
+}

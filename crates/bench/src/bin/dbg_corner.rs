@@ -1,0 +1,17 @@
+use sal_des::Time;
+use sal_link::measure::{run_flits, MeasureOptions};
+use sal_link::{LinkConfig, LinkKind};
+use sal_tech::{Corner, St012Library};
+
+fn main() {
+    for corner in [Corner::Fast, Corner::Typical, Corner::Slow] {
+        let lib = St012Library::at_corner(corner);
+        let opts = MeasureOptions { lib: lib.clone(), timeout: Time::from_us(3), ..MeasureOptions::default() };
+        let cfg = LinkConfig { clk_period: Time::from_ps(1000), ..LinkConfig::default() };
+        let words: Vec<u64> = (0..8).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
+        let r = std::panic::catch_unwind(|| {
+            run_flits(LinkKind::I3PerWord, &cfg, &words, &opts).throughput_mflits()
+        });
+        println!("{corner:?}: {:?}", r.ok());
+    }
+}

@@ -1,0 +1,49 @@
+use sal_cells::CircuitBuilder;
+use sal_des::{Simulator, Time, Value};
+use sal_link::testbench::*;
+use sal_link::{build_i3, LinkConfig};
+use sal_tech::{Corner, St012Library};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let cfg = LinkConfig { clk_period: Time::from_ps(1000), ..LinkConfig::default() };
+    let mut sim = Simulator::new();
+    let lib = St012Library::at_corner(Corner::Slow);
+    let mut b = CircuitBuilder::new(&mut sim, &lib);
+    let h = build_i3(&mut b, "link", &cfg);
+    b.finish();
+    sim.stimulus(h.rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(300), Value::one(1))]);
+    let words: Vec<u64> = (0..8).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
+    let (src, sent) = SyncFlitSource::new(h.clk, h.stall_out, h.flit_in, h.valid_in, 32, words.clone());
+    let src = src.with_rstn(h.rstn);
+    attach_sync_source(&mut sim, "src", src, Time::ZERO);
+    let (snk, rx) = SyncFlitSink::new(h.clk, h.valid_out, h.flit_out, h.stall_in);
+    attach_sync_sink(&mut sim, "snk", snk, Time::ZERO);
+    let count = |sim: &mut Simulator, path: &str| -> Rc<RefCell<u64>> {
+        let c = Rc::new(RefCell::new(0u64));
+        let c2 = c.clone();
+        let sig = sim.signal_by_path(path).unwrap();
+        sim.monitor(path, sig, move |_, v| { if v.is_high() { *c2.borrow_mut() += 1; } });
+        c
+    };
+    let tx_req = count(&mut sim, "link.tx_if.req_dly_4");
+    let valid = count(&mut sim, "link.ser.valid");
+    let wdes_req = count(&mut sim, "link.des.reqout");
+    let rx_ack = count(&mut sim, "link.rx_if.ack_dly_1");
+    let ab = count(&mut sim, "link.ack_back_heard");
+    for p in ["link.ser.burst", "link.ser.start", "link.ser.done", "link.ser.ndone", "link.tx_if.req_dly_4", "link.tx_if.req_core", "link.tx_if.nack", "link.ack_word_tx", "link.ser.ackout", "link.ack_back_heard"] {
+        if let Some(sig) = sim.signal_by_path(p) {
+            let name = p.to_string();
+            sim.monitor(&name.clone(), sig, move |t, v| {
+                if t < Time::from_ns(12) { println!("{:8.2} {} -> {}", t.as_ns(), name, v); }
+            });
+        } else { println!("{p} missing"); }
+    }
+    sim.run_until(Time::from_ns(200)).unwrap();
+    println!("sent={} rx={} tx_req={} valid={} wdes_req={} rx_ack={} ack_back={}",
+        sent.borrow().len(), rx.borrow().len(), tx_req.borrow(), valid.borrow(), wdes_req.borrow(), rx_ack.borrow(), ab.borrow());
+    for p in ["link.ser.done", "link.ser.burst", "link.tx_if.stall_pre", "link.des.p_3", "link.rx_if.cell0.flag"] {
+        println!("{p} = {}", sim.value(sim.signal_by_path(p).unwrap()));
+    }
+}

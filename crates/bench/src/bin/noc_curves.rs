@@ -1,0 +1,32 @@
+//! Load/latency curves for the mesh with each link model (extension):
+//! the standard NoC evaluation fed by the paper's link parameters.
+
+use sal_bench::{experiments, table};
+
+fn main() {
+    println!("NoC load/latency curves — 4x4 mesh, uniform random, 600 MHz switch clock\n");
+    let rows: Vec<Vec<String>> = experiments::noc_curves()
+        .iter()
+        .map(|p| {
+            vec![
+                p.kind.label().to_string(),
+                format!("{:.2}", p.offered),
+                format!("{:.3}", p.accepted),
+                format!("{:.1}", p.avg_latency),
+                p.p95_latency.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(
+            &["link", "offered", "accepted(f/n/c)", "avg lat(cyc)", "p95"],
+            &rows
+        )
+    );
+    println!(
+        "\nBeyond the per-word link's self-timed upper bound the serialized\n\
+         mesh saturates first; below it, all three meshes behave alike while\n\
+         the serialized ones use 10 instead of 33 wires per channel."
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates the paper's Table 1: link area overhead.
+
+use sal_bench::{experiments, table};
+
+fn main() {
+    println!("Table 1 — Area overhead of the synchronous and proposed links\n");
+    let rows: Vec<Vec<String>> = experiments::table1()
+        .iter()
+        .map(|r| {
+            let name = match r.kind {
+                sal_link::LinkKind::I1Sync => "Synchronous (I1)",
+                sal_link::LinkKind::I2PerTransfer => "Asynchronous per-transfer ack. (I2)",
+                sal_link::LinkKind::I3PerWord => "Asynchronous per-word ack. (I3)",
+            };
+            vec![name.to_string(), format!("{:.0}", r.area_um2)]
+        })
+        .collect();
+    print!("{}", table::render(&["Implementation", "Area (um2)"], &rows));
+}

@@ -1,0 +1,27 @@
+//! # sal-bench — the experiment harness
+//!
+//! One function per table/figure of the paper's evaluation (§V), each
+//! returning structured rows so binaries can print them, tests can
+//! assert the paper's qualitative claims, and Criterion benches can
+//! time them. The binaries under `src/bin/` regenerate:
+//!
+//! | Target | Paper artifact |
+//! |--------|----------------|
+//! | `fig10` | Bandwidth vs. number of wires |
+//! | `fig11` | Wiring area vs. wire length |
+//! | `fig12` | Power vs. buffers @ 100 MHz |
+//! | `fig13` | Power vs. buffers @ 300 MHz |
+//! | `fig14` | Per-block power breakdown @ 50 % usage |
+//! | `table1` | Link area overhead |
+//! | `table2` | I2 block area breakdown |
+//! | `delay_check` | §V per-word delay equation validation |
+//! | `headline` | The abstract's 75 % wires / 65 % power / 20 % area claims |
+//! | `noc_study` | Mesh-level latency/throughput with each link (extension) |
+//! | `experiments` | All of the above, in order |
+//! | `ablations` | Early-ack / slice-width / receiver-style / corner studies |
+
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod table;

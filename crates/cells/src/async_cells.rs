@@ -1,0 +1,275 @@
+//! Asynchronous control cells: the Muller C-element and the David
+//! cell (Fig 3 of the paper).
+
+use sal_des::{Component, Ctx, Logic, SignalId, Time, Value};
+
+/// A Muller C-element with 2 or 3 inputs and asynchronous active-low
+/// reset.
+///
+/// The output rises when *all* inputs are high, falls when *all*
+/// inputs are low, and holds otherwise — the fundamental
+/// synchronisation cell of speed-independent design [Muller & Bartky
+/// 1959]. The paper uses C-elements throughout the handshake control
+/// of its serializer, deserializer, wire buffers and interfaces.
+///
+/// When `rstn` is low the output is forced to `init` (normally 0).
+#[derive(Debug)]
+pub struct CElement {
+    inputs: Vec<SignalId>,
+    rstn: Option<SignalId>,
+    z: SignalId,
+    delay: Time,
+    init: bool,
+    /// Master copy of the hold state (the committed output lags by the
+    /// cell delay, so holding must use this, not the signal value).
+    state: Logic,
+}
+
+impl CElement {
+    /// Creates a C-element.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless 2 or 3 inputs are given.
+    pub fn new(
+        inputs: Vec<SignalId>,
+        rstn: Option<SignalId>,
+        z: SignalId,
+        delay: Time,
+        init: bool,
+    ) -> Self {
+        assert!(
+            (2..=3).contains(&inputs.len()),
+            "C-element supports 2 or 3 inputs, got {}",
+            inputs.len()
+        );
+        CElement { inputs, rstn, z, delay, init, state: Logic::X }
+    }
+}
+
+impl Component for CElement {
+    fn on_input(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(rstn) = self.rstn {
+            if ctx.read(rstn).is_low() {
+                self.state = Logic::from_bool(self.init);
+                ctx.drive(self.z, Value::from_logic(self.state), self.delay);
+                return;
+            }
+        }
+        let mut all_one = true;
+        let mut all_zero = true;
+        for &i in &self.inputs {
+            match ctx.read(i).as_logic() {
+                Logic::One => all_zero = false,
+                Logic::Zero => all_one = false,
+                Logic::X => {
+                    all_zero = false;
+                    all_one = false;
+                }
+            }
+        }
+        if all_one {
+            self.state = Logic::One;
+        } else if all_zero {
+            self.state = Logic::Zero;
+        } // else: hold
+        ctx.drive(self.z, Value::from_logic(self.state), self.delay);
+    }
+}
+
+/// A David cell [David 1977]: the token-holding element of the paper's
+/// one-hot sequencer chains (Fig 3).
+///
+/// Functionally a set/clear latch with handshake discipline: `set`
+/// high makes the cell active (`o2` = 1, "this stage holds the
+/// token"), `clr` high deactivates it. In the paper's chains the two
+/// are never asserted together; if they are, `set` wins (documented,
+/// deterministic). `rstn` low forces the cell to `init` — exactly one
+/// cell of a chain is initialised active, matching "at reset the
+/// output O2 of DC(0) is logic 1" in §III.
+#[derive(Debug)]
+pub struct DavidCell {
+    set: SignalId,
+    clr: SignalId,
+    rstn: Option<SignalId>,
+    o2: SignalId,
+    delay: Time,
+    init: bool,
+    state: Logic,
+}
+
+impl DavidCell {
+    /// Creates a David cell; see the type docs for port semantics.
+    pub fn new(
+        set: SignalId,
+        clr: SignalId,
+        rstn: Option<SignalId>,
+        o2: SignalId,
+        delay: Time,
+        init: bool,
+    ) -> Self {
+        DavidCell { set, clr, rstn, o2, delay, init, state: Logic::X }
+    }
+}
+
+impl Component for DavidCell {
+    fn on_input(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(rstn) = self.rstn {
+            if ctx.read(rstn).is_low() {
+                self.state = Logic::from_bool(self.init);
+                ctx.drive(self.o2, Value::from_logic(self.state), self.delay);
+                return;
+            }
+        }
+        let set = ctx.read(self.set).as_logic();
+        let clr = ctx.read(self.clr).as_logic();
+        match (set, clr) {
+            (Logic::One, _) => self.state = Logic::One, // set dominant
+            (Logic::Zero, Logic::One) => self.state = Logic::Zero,
+            (Logic::Zero, Logic::Zero) => { /* hold */ }
+            _ => {
+                // An X on a control input only corrupts the state if it
+                // could change it.
+                if self.state != Logic::X {
+                    let could_set = set == Logic::X && self.state == Logic::Zero;
+                    let could_clr = clr == Logic::X && self.state == Logic::One;
+                    if could_set || could_clr {
+                        self.state = Logic::X;
+                    }
+                }
+            }
+        }
+        ctx.drive(self.o2, Value::from_logic(self.state), self.delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sal_des::Simulator;
+
+    fn celement_fixture(n: usize) -> (Simulator, Vec<SignalId>, SignalId, SignalId) {
+        let mut sim = Simulator::new();
+        let ins: Vec<SignalId> = (0..n).map(|i| sim.add_signal(&format!("a{i}"), 1)).collect();
+        let rstn = sim.add_signal("rstn", 1);
+        let z = sim.add_signal("z", 1);
+        let mut watched = ins.clone();
+        watched.push(rstn);
+        let id = sim.add_component(
+            "c",
+            CElement::new(ins.clone(), Some(rstn), z, Time::from_ps(20), false),
+            &watched,
+        );
+        sim.connect_driver(id, z).unwrap();
+        (sim, ins, rstn, z)
+    }
+
+    #[test]
+    fn c_element_waits_for_both() {
+        let (mut sim, ins, rstn, z) = celement_fixture(2);
+        sim.stimulus(rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))]);
+        sim.stimulus(
+            ins[0],
+            &[(Time::ZERO, Value::zero(1)), (Time::from_ps(200), Value::one(1))],
+        );
+        sim.stimulus(
+            ins[1],
+            &[(Time::ZERO, Value::zero(1)), (Time::from_ps(400), Value::one(1))],
+        );
+        sim.run_until(Time::from_ps(300)).unwrap();
+        assert!(sim.value(z).is_low(), "must hold 0 until both inputs rise");
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.value(z).is_high());
+    }
+
+    #[test]
+    fn c_element_holds_on_disagreement() {
+        let (mut sim, ins, rstn, z) = celement_fixture(2);
+        sim.stimulus(rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(50), Value::one(1))]);
+        sim.stimulus(
+            ins[0],
+            &[
+                (Time::ZERO, Value::one(1)),
+            ],
+        );
+        sim.stimulus(
+            ins[1],
+            &[
+                (Time::ZERO, Value::one(1)),
+                (Time::from_ps(300), Value::zero(1)),
+                (Time::from_ps(500), Value::one(1)),
+            ],
+        );
+        sim.run_until(Time::from_ps(200)).unwrap();
+        assert!(sim.value(z).is_high());
+        // One input dropped: output must hold high.
+        sim.run_until(Time::from_ps(400)).unwrap();
+        assert!(sim.value(z).is_high());
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.value(z).is_high());
+    }
+
+    #[test]
+    fn three_input_c_element() {
+        let (mut sim, ins, rstn, z) = celement_fixture(3);
+        sim.stimulus(rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(10), Value::one(1))]);
+        for (k, i) in ins.iter().enumerate() {
+            sim.stimulus(
+                *i,
+                &[
+                    (Time::ZERO, Value::zero(1)),
+                    (Time::from_ps(100 * (k as u64 + 1)), Value::one(1)),
+                ],
+            );
+        }
+        sim.run_until(Time::from_ps(250)).unwrap();
+        assert!(sim.value(z).is_low());
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.value(z).is_high());
+    }
+
+    #[test]
+    fn david_cell_token_set_and_clear() {
+        let mut sim = Simulator::new();
+        let set = sim.add_signal("set", 1);
+        let clr = sim.add_signal("clr", 1);
+        let rstn = sim.add_signal("rstn", 1);
+        let o2 = sim.add_signal("o2", 1);
+        let id = sim.add_component(
+            "dc",
+            DavidCell::new(set, clr, Some(rstn), o2, Time::from_ps(15), true),
+            &[set, clr, rstn],
+        );
+        sim.connect_driver(id, o2).unwrap();
+        sim.stimulus(rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(50), Value::one(1))]);
+        sim.stimulus(set, &[(Time::ZERO, Value::zero(1))]);
+        sim.stimulus(
+            clr,
+            &[(Time::ZERO, Value::zero(1)), (Time::from_ps(200), Value::one(1))],
+        );
+        // init=true: active after reset.
+        sim.run_until(Time::from_ps(100)).unwrap();
+        assert!(sim.value(o2).is_high());
+        // cleared by clr pulse.
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.value(o2).is_low());
+    }
+
+    #[test]
+    fn david_cell_set_dominates() {
+        let mut sim = Simulator::new();
+        let set = sim.add_signal("set", 1);
+        let clr = sim.add_signal("clr", 1);
+        let o2 = sim.add_signal("o2", 1);
+        let id = sim.add_component(
+            "dc",
+            DavidCell::new(set, clr, None, o2, Time::from_ps(15), false),
+            &[set, clr],
+        );
+        sim.connect_driver(id, o2).unwrap();
+        sim.stimulus(set, &[(Time::ZERO, Value::one(1))]);
+        sim.stimulus(clr, &[(Time::ZERO, Value::one(1))]);
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.value(o2).is_high());
+    }
+}

@@ -1,0 +1,988 @@
+//! The circuit builder: ergonomic netlist construction with area and
+//! energy bookkeeping.
+
+use std::collections::BTreeMap;
+
+use sal_des::{ScopeId, SignalId, Simulator, Time, Value};
+
+use crate::async_cells::{CElement, DavidCell};
+use crate::comb::{Gate, GateOp, Mux2};
+use crate::kind::{CellKind, Library};
+use crate::seq::{DLatch, Dff};
+use crate::sources::{ClockGen, ConstDriver};
+
+/// Layout area accumulated per scope path, in µm².
+///
+/// Populated by [`CircuitBuilder`] as cells are instantiated; queried
+/// afterwards to regenerate the paper's Table 1 and Table 2.
+#[derive(Debug, Clone, Default)]
+pub struct AreaLedger {
+    entries: BTreeMap<String, f64>,
+}
+
+impl AreaLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `area_um2` to the given scope path.
+    pub fn add(&mut self, path: &str, area_um2: f64) {
+        *self.entries.entry(path.to_string()).or_insert(0.0) += area_um2;
+    }
+
+    /// Total area across all scopes, µm².
+    pub fn total_um2(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// Area of the subtree rooted at `prefix` (inclusive), µm².
+    pub fn subtree_um2(&self, prefix: &str) -> f64 {
+        self.entries
+            .iter()
+            .filter(|(p, _)| {
+                prefix.is_empty()
+                    || p.as_str() == prefix
+                    || (p.starts_with(prefix) && p[prefix.len()..].starts_with('.'))
+            })
+            .map(|(_, a)| a)
+            .sum()
+    }
+
+    /// Iterates over `(scope path, exclusive area)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(p, a)| (p.as_str(), *a))
+    }
+
+    /// Merges another ledger into this one.
+    pub fn extend_from(&mut self, other: &AreaLedger) {
+        for (p, a) in other.iter() {
+            self.add(p, a);
+        }
+    }
+}
+
+/// Builds gate-level circuits into a [`Simulator`], pulling cell
+/// parameters from a [`Library`], annotating per-signal switching
+/// energy and accumulating an [`AreaLedger`].
+///
+/// Most methods create one cell: they allocate the output signal
+/// (named after the cell), instantiate the component, register it as
+/// the signal's driver, and account area/energy. See the
+/// [crate-level example](crate).
+pub struct CircuitBuilder<'a> {
+    sim: &'a mut Simulator,
+    lib: &'a dyn Library,
+    area: AreaLedger,
+}
+
+impl<'a> CircuitBuilder<'a> {
+    /// Wraps a simulator and a technology library.
+    pub fn new(sim: &'a mut Simulator, lib: &'a dyn Library) -> Self {
+        CircuitBuilder { sim, lib, area: AreaLedger::new() }
+    }
+
+    /// The underlying simulator (escape hatch for monitors, stimuli…).
+    pub fn sim(&mut self) -> &mut Simulator {
+        self.sim
+    }
+
+    /// The library this builder instantiates from.
+    pub fn library(&self) -> &dyn Library {
+        self.lib
+    }
+
+    /// Finishes building and returns the accumulated area ledger.
+    pub fn finish(self) -> AreaLedger {
+        self.area
+    }
+
+    /// Enters a child scope (hierarchy for names, energy and area).
+    pub fn push_scope(&mut self, name: &str) -> ScopeId {
+        self.sim.push_scope(name)
+    }
+
+    /// Leaves the current scope.
+    pub fn pop_scope(&mut self) {
+        self.sim.pop_scope()
+    }
+
+    fn scope_path(&self) -> String {
+        self.sim.scope_path(self.sim.current_scope()).as_str().to_string()
+    }
+
+    /// Declares an undriven input signal (driven later by a stimulus
+    /// or another block).
+    pub fn input(&mut self, name: &str, width: u8) -> SignalId {
+        self.sim.add_signal(name, width)
+    }
+
+    fn account(&mut self, kind: CellKind, width: u8) -> crate::kind::CellParams {
+        let p = self.lib.params(kind);
+        let path = self.scope_path();
+        self.area.add(&path, p.area_um2 * width as f64);
+        p
+    }
+
+    fn gate(&mut self, name: &str, op: GateOp, kind: CellKind, inputs: &[SignalId]) -> SignalId {
+        let width = inputs
+            .iter()
+            .map(|&s| self.sim.signal_info(s).width)
+            .max()
+            .expect("gate needs at least one input");
+        let p = self.account(kind, width);
+        let out = self.sim.add_signal(name, width);
+        let comp = Gate::new(op, inputs.to_vec(), out, width, p.delay);
+        let id = self.sim.add_component(name, comp, inputs);
+        self.sim.connect_driver(id, out).expect("fresh gate output already driven");
+        self.sim.set_signal_energy(out, p.energy_fj);
+        out
+    }
+
+    /// Inverter; returns the output signal.
+    pub fn inv(&mut self, name: &str, a: SignalId) -> SignalId {
+        self.gate(name, GateOp::Inv, CellKind::Inv, &[a])
+    }
+
+    /// Buffer; returns the output signal.
+    pub fn buf(&mut self, name: &str, a: SignalId) -> SignalId {
+        self.gate(name, GateOp::Buf, CellKind::Buf, &[a])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, name: &str, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(name, GateOp::And, CellKind::And(2), &[a, b])
+    }
+
+    /// 3-input AND.
+    pub fn and3(&mut self, name: &str, a: SignalId, b: SignalId, c: SignalId) -> SignalId {
+        self.gate(name, GateOp::And, CellKind::And(3), &[a, b, c])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, name: &str, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(name, GateOp::Or, CellKind::Or(2), &[a, b])
+    }
+
+    /// 3-input OR.
+    pub fn or3(&mut self, name: &str, a: SignalId, b: SignalId, c: SignalId) -> SignalId {
+        self.gate(name, GateOp::Or, CellKind::Or(3), &[a, b, c])
+    }
+
+    /// 4-input OR.
+    pub fn or4(
+        &mut self,
+        name: &str,
+        a: SignalId,
+        b: SignalId,
+        c: SignalId,
+        d: SignalId,
+    ) -> SignalId {
+        self.gate(name, GateOp::Or, CellKind::Or(4), &[a, b, c, d])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, name: &str, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(name, GateOp::Nand, CellKind::Nand(2), &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, name: &str, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(name, GateOp::Nor, CellKind::Nor(2), &[a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, name: &str, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(name, GateOp::Xor, CellKind::Xor2, &[a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, name: &str, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(name, GateOp::Xnor, CellKind::Xnor2, &[a, b])
+    }
+
+    /// Word-wide 2-way multiplexer (`sel` 1 bit; `a`, `b` same width).
+    pub fn mux2(&mut self, name: &str, sel: SignalId, a: SignalId, b: SignalId) -> SignalId {
+        let width = self.sim.signal_info(a).width;
+        assert_eq!(
+            width,
+            self.sim.signal_info(b).width,
+            "mux2 data widths differ"
+        );
+        let p = self.account(CellKind::Mux2, width);
+        let out = self.sim.add_signal(name, width);
+        let comp = Mux2::new(sel, a, b, out, p.delay);
+        let id = self.sim.add_component(name, comp, &[sel, a, b]);
+        self.sim.connect_driver(id, out).expect("fresh mux output already driven");
+        self.sim.set_signal_energy(out, p.energy_fj);
+        out
+    }
+
+    /// Word-wide transparent-high D latch.
+    pub fn dlatch(
+        &mut self,
+        name: &str,
+        d: SignalId,
+        en: SignalId,
+        rstn: Option<SignalId>,
+    ) -> SignalId {
+        let width = self.sim.signal_info(d).width;
+        let p = self.account(CellKind::DLatch, width);
+        let q = self.sim.add_signal(name, width);
+        let comp = DLatch::new(d, en, rstn, q, width, p.delay);
+        let mut ins = vec![d, en];
+        ins.extend(rstn);
+        let id = self.sim.add_component(name, comp, &ins);
+        self.sim.connect_driver(id, q).expect("fresh latch output already driven");
+        self.sim.set_signal_energy(q, p.energy_fj);
+        q
+    }
+
+    /// Word-wide positive-edge D flip-flop with async active-low reset.
+    pub fn dff(
+        &mut self,
+        name: &str,
+        d: SignalId,
+        clk: SignalId,
+        rstn: Option<SignalId>,
+    ) -> SignalId {
+        let width = self.sim.signal_info(d).width;
+        let p = self.account(CellKind::Dff, width);
+        let q = self.sim.add_signal(name, width);
+        let comp = Dff::new(d, clk, rstn, q, width, p.delay);
+        let mut ins = vec![d, clk];
+        ins.extend(rstn);
+        let id = self.sim.add_component(name, comp, &ins);
+        self.sim.connect_driver(id, q).expect("fresh dff output already driven");
+        self.sim.set_signal_energy(q, p.energy_fj);
+        q
+    }
+
+    /// Word-wide D flip-flop driving a *pre-declared* output signal
+    /// (for registers whose own output feeds their input logic, e.g.
+    /// write-enable muxed registers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` already has a driver or widths mismatch.
+    pub fn dff_into(
+        &mut self,
+        name: &str,
+        q: SignalId,
+        d: SignalId,
+        clk: SignalId,
+        rstn: Option<SignalId>,
+    ) {
+        let width = self.sim.signal_info(d).width;
+        assert_eq!(self.sim.signal_info(q).width, width, "dff_into width mismatch");
+        let p = self.account(CellKind::Dff, width);
+        let comp = Dff::new(d, clk, rstn, q, width, p.delay);
+        let mut ins = vec![d, clk];
+        ins.extend(rstn);
+        let id = self.sim.add_component(name, comp, &ins);
+        self.sim.connect_driver(id, q).expect("dff_into target already driven");
+        self.sim.set_signal_energy(q, p.energy_fj);
+    }
+
+    /// 2-input Muller C-element (resettable to `init`).
+    pub fn celement2(
+        &mut self,
+        name: &str,
+        a: SignalId,
+        b: SignalId,
+        rstn: Option<SignalId>,
+        init: bool,
+    ) -> SignalId {
+        self.celement(name, &[a, b], rstn, init)
+    }
+
+    /// N-input Muller C-element (N = 2..=3).
+    pub fn celement(
+        &mut self,
+        name: &str,
+        inputs: &[SignalId],
+        rstn: Option<SignalId>,
+        init: bool,
+    ) -> SignalId {
+        let p = self.account(CellKind::CElement(inputs.len() as u8), 1);
+        let z = self.sim.add_signal(name, 1);
+        let comp = CElement::new(inputs.to_vec(), rstn, z, p.delay, init);
+        let mut ins = inputs.to_vec();
+        ins.extend(rstn);
+        let id = self.sim.add_component(name, comp, &ins);
+        self.sim.connect_driver(id, z).expect("fresh C-element output already driven");
+        self.sim.set_signal_energy(z, p.energy_fj);
+        z
+    }
+
+    /// Buffer driving a *pre-declared* output signal (closes feedback
+    /// loops such as acknowledge wires running against the build
+    /// direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` already has a driver or widths mismatch.
+    pub fn buf_into(&mut self, name: &str, out: SignalId, src: SignalId) {
+        let width = self.sim.signal_info(src).width;
+        assert_eq!(self.sim.signal_info(out).width, width, "buf_into width mismatch");
+        let p = self.account(CellKind::Buf, width);
+        let comp = Gate::new(GateOp::Buf, vec![src], out, width, p.delay);
+        let id = self.sim.add_component(name, comp, &[src]);
+        self.sim.connect_driver(id, out).expect("buf_into target already driven");
+        self.sim.set_signal_energy(out, p.energy_fj);
+    }
+
+    /// N-input Muller C-element driving a *pre-declared* output signal
+    /// (for feedback cycles such as acknowledge wires that must exist
+    /// before the stage producing them is built).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` already has a driver or is not 1 bit wide.
+    pub fn celement_into(
+        &mut self,
+        name: &str,
+        out: SignalId,
+        inputs: &[SignalId],
+        rstn: Option<SignalId>,
+        init: bool,
+    ) {
+        assert_eq!(self.sim.signal_info(out).width, 1, "C-element output must be 1 bit");
+        let p = self.account(CellKind::CElement(inputs.len() as u8), 1);
+        let comp = CElement::new(inputs.to_vec(), rstn, out, p.delay, init);
+        let mut ins = inputs.to_vec();
+        ins.extend(rstn);
+        let id = self.sim.add_component(name, comp, &ins);
+        self.sim.connect_driver(id, out).expect("celement_into target already driven");
+        self.sim.set_signal_energy(out, p.energy_fj);
+    }
+
+    /// David cell: token set by `set`, cleared by `clr`, reset to
+    /// `init` while `rstn` is low.
+    pub fn david_cell(
+        &mut self,
+        name: &str,
+        set: SignalId,
+        clr: SignalId,
+        rstn: Option<SignalId>,
+        init: bool,
+    ) -> SignalId {
+        let p = self.account(CellKind::DavidCell, 1);
+        let o2 = self.sim.add_signal(name, 1);
+        let comp = DavidCell::new(set, clr, rstn, o2, p.delay, init);
+        let mut ins = vec![set, clr];
+        ins.extend(rstn);
+        let id = self.sim.add_component(name, comp, &ins);
+        self.sim.connect_driver(id, o2).expect("fresh David cell output already driven");
+        self.sim.set_signal_energy(o2, p.energy_fj);
+        o2
+    }
+
+    /// David cell driving a *pre-declared* output signal (for flags
+    /// read by the logic that computes their own set/clear inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` already has a driver or is not 1 bit wide.
+    pub fn david_cell_into(
+        &mut self,
+        name: &str,
+        out: SignalId,
+        set: SignalId,
+        clr: SignalId,
+        rstn: Option<SignalId>,
+        init: bool,
+    ) {
+        assert_eq!(self.sim.signal_info(out).width, 1, "David cell output must be 1 bit");
+        let p = self.account(CellKind::DavidCell, 1);
+        let comp = DavidCell::new(set, clr, rstn, out, p.delay, init);
+        let mut ins = vec![set, clr];
+        ins.extend(rstn);
+        let id = self.sim.add_component(name, comp, &ins);
+        self.sim.connect_driver(id, out).expect("david_cell_into target already driven");
+        self.sim.set_signal_energy(out, p.energy_fj);
+    }
+
+    /// Constant driver (tie cell).
+    pub fn tie(&mut self, name: &str, value: Value) -> SignalId {
+        let p = self.account(CellKind::Tie, value.width());
+        let out = self.sim.add_signal(name, value.width());
+        let id = self.sim.add_component(name, ConstDriver::new(out, value), &[]);
+        self.sim.connect_driver(id, out).expect("fresh tie output already driven");
+        self.sim.set_signal_energy(out, p.energy_fj);
+        self.sim.schedule_wake(id, Time::ZERO);
+        out
+    }
+
+    /// Ideal clock source with the given period (no area — the clock
+    /// tree cost is modelled analytically by the technology layer).
+    pub fn clock(&mut self, name: &str, period: Time) -> SignalId {
+        let out = self.sim.add_signal(name, 1);
+        let id = self.sim.add_component(name, ClockGen::new(out, period), &[]);
+        self.sim.connect_driver(id, out).expect("fresh clock output already driven");
+        self.sim.schedule_wake(id, Time::ZERO);
+        out
+    }
+
+    /// Adds the switching load of `length_um` micrometres of routed
+    /// wire to an existing signal (0.5·C·V² per bit toggle).
+    pub fn add_wire_load(&mut self, sig: SignalId, length_um: f64) {
+        let c_ff = self.lib.wire_cap_ff_per_um() * length_um;
+        let vdd = self.lib.vdd();
+        // fF × V² = fJ (per full swing); half attributed per toggle.
+        self.sim.add_signal_energy(sig, 0.5 * c_ff * vdd * vdd);
+    }
+
+    // ------------------------------------------------------------------
+    // Structural compounds
+    // ------------------------------------------------------------------
+
+    /// A chain of `n` word-wide D flip-flops clocked together; returns
+    /// the `n` stage outputs (`out[0]` is the first stage).
+    pub fn shift_register(
+        &mut self,
+        name: &str,
+        d: SignalId,
+        clk: SignalId,
+        rstn: Option<SignalId>,
+        n: usize,
+    ) -> Vec<SignalId> {
+        assert!(n >= 1, "shift register needs at least one stage");
+        let mut outs = Vec::with_capacity(n);
+        let mut prev = d;
+        for i in 0..n {
+            let q = self.dff(&format!("{name}_{i}"), prev, clk, rstn);
+            outs.push(q);
+            prev = q;
+        }
+        outs
+    }
+
+    /// Pure-wiring view of `bus[lo .. lo+width]` (no area, no energy).
+    pub fn slice(&mut self, name: &str, bus: SignalId, lo: u8, width: u8) -> SignalId {
+        let out = self.sim.add_signal(name, width);
+        let comp = crate::comb::SliceWire::new(bus, lo, width, out);
+        let id = self.sim.add_component(name, comp, &[bus]);
+        self.sim.connect_driver(id, out).expect("fresh slice already driven");
+        out
+    }
+
+    /// Pure-wiring concatenation of buses, first part in the low bits
+    /// (no area, no energy).
+    pub fn concat(&mut self, name: &str, parts: &[SignalId]) -> SignalId {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let width: u8 = parts.iter().map(|&p| self.sim.signal_info(p).width).sum();
+        let out = self.sim.add_signal(name, width);
+        let comp = crate::comb::ConcatWire::new(parts.to_vec(), out);
+        let id = self.sim.add_component(name, comp, parts);
+        self.sim.connect_driver(id, out).expect("fresh concat already driven");
+        out
+    }
+
+    /// A transport element modelling a routed wire segment: repeats
+    /// `src` after `delay`, charging `energy_fj` per bit toggle. No
+    /// cell area (wiring area is accounted separately by the wire
+    /// geometry model).
+    pub fn transport(
+        &mut self,
+        name: &str,
+        src: SignalId,
+        delay: Time,
+        energy_fj: f64,
+    ) -> SignalId {
+        let width = self.sim.signal_info(src).width;
+        let out = self.sim.add_signal(name, width);
+        let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
+        let id = self.sim.add_component(name, comp, &[src]);
+        self.sim.connect_driver(id, out).expect("fresh transport already driven");
+        self.sim.set_signal_energy(out, energy_fj);
+        out
+    }
+
+    /// Like [`CircuitBuilder::transport`], but driving a
+    /// *pre-declared* output signal (for backward wires such as
+    /// acknowledges that must exist before their driver is built).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` already has a driver or widths mismatch.
+    pub fn transport_into(
+        &mut self,
+        name: &str,
+        out: SignalId,
+        src: SignalId,
+        delay: Time,
+        energy_fj: f64,
+    ) {
+        let width = self.sim.signal_info(src).width;
+        assert_eq!(self.sim.signal_info(out).width, width, "transport width mismatch");
+        let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
+        let id = self.sim.add_component(name, comp, &[src]);
+        self.sim.connect_driver(id, out).expect("transport_into target already driven");
+        self.sim.set_signal_energy(out, energy_fj);
+    }
+
+    /// A chain of `n` buffers (a matched delay line, as inserted on
+    /// request wires to cover the bundled-data constraint). Returns
+    /// the delayed signal.
+    pub fn buf_chain(&mut self, name: &str, src: SignalId, n: usize) -> SignalId {
+        let mut s = src;
+        for i in 0..n {
+            s = self.buf(&format!("{name}_{i}"), s);
+        }
+        s
+    }
+
+    /// A self-starting one-hot ring counter: `n` flip-flops clocked by
+    /// `clk`, exactly one token output high after reset (token 0),
+    /// advancing one position per rising clock edge.
+    ///
+    /// Stage 0 stores its token inverted (so the all-zero register
+    /// state after the async reset reads as "token at stage 0") — the
+    /// standard preset-free trick. Functionally this is the David-cell
+    /// one-hot sequencer of the paper's Figs 4–6 with the handshake
+    /// completion signal acting as the advance clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn ring_counter(
+        &mut self,
+        name: &str,
+        clk: SignalId,
+        rstn: Option<SignalId>,
+        n: usize,
+    ) -> Vec<SignalId> {
+        assert!(n >= 2, "ring counter needs at least two stages");
+        // q0 holds the complement of token 0: d0 = inv(token[n-1]),
+        // token0 = inv(q0); later stages store tokens directly.
+        let tok_last = self.sim.add_signal(&format!("{name}_t{}", n - 1), 1);
+        let d0 = {
+            let p = self.account(CellKind::Inv, 1);
+            let out = self.sim.add_signal(&format!("{name}_d0"), 1);
+            let comp = Gate::new(GateOp::Inv, vec![tok_last], out, 1, p.delay);
+            let id = self.sim.add_component(&format!("{name}_d0"), comp, &[tok_last]);
+            self.sim.connect_driver(id, out).expect("fresh ring d0 already driven");
+            self.sim.set_signal_energy(out, p.energy_fj);
+            out
+        };
+        let q0 = self.dff(&format!("{name}_q0"), d0, clk, rstn);
+        let t0 = self.inv(&format!("{name}_t0"), q0);
+        let mut tokens = vec![t0];
+        let mut prev = t0;
+        for k in 1..n {
+            if k == n - 1 {
+                // Last stage drives the pre-declared feedback signal.
+                let p = self.account(CellKind::Dff, 1);
+                let comp = crate::seq::Dff::new(prev, clk, rstn, tok_last, 1, p.delay);
+                let mut ins = vec![prev, clk];
+                ins.extend(rstn);
+                let id = self.sim.add_component(&format!("{name}_q{k}"), comp, &ins);
+                self.sim.connect_driver(id, tok_last).expect("ring feedback already driven");
+                self.sim.set_signal_energy(tok_last, p.energy_fj);
+                tokens.push(tok_last);
+            } else {
+                let q = self.dff(&format!("{name}_q{k}"), prev, clk, rstn);
+                tokens.push(q);
+                prev = q;
+            }
+        }
+        tokens
+    }
+
+    /// A one-hot ring counter with a synchronous advance enable: the
+    /// token moves one position on rising clock edges where `en` is
+    /// high and holds otherwise. Same token encoding as
+    /// [`CircuitBuilder::ring_counter`]. Each stage costs a mux plus a
+    /// flip-flop (the standard enabled-register idiom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn ring_counter_en(
+        &mut self,
+        name: &str,
+        clk: SignalId,
+        en: SignalId,
+        rstn: Option<SignalId>,
+        n: usize,
+    ) -> Vec<SignalId> {
+        assert!(n >= 2, "ring counter needs at least two stages");
+        let tok_last = self.sim.add_signal(&format!("{name}_t{}", n - 1), 1);
+        let next0 = {
+            let p = self.account(CellKind::Inv, 1);
+            let out = self.sim.add_signal(&format!("{name}_n0"), 1);
+            let comp = Gate::new(GateOp::Inv, vec![tok_last], out, 1, p.delay);
+            let id = self.sim.add_component(&format!("{name}_n0"), comp, &[tok_last]);
+            self.sim.connect_driver(id, out).expect("fresh ring n0 already driven");
+            self.sim.set_signal_energy(out, p.energy_fj);
+            out
+        };
+        // Stage 0 (stores the complement of its token).
+        let q0_sig = self.sim.add_signal(&format!("{name}_q0"), 1);
+        let d0 = self.mux2(&format!("{name}_m0"), en, q0_sig, next0);
+        {
+            let p = self.account(CellKind::Dff, 1);
+            let comp = crate::seq::Dff::new(d0, clk, rstn, q0_sig, 1, p.delay);
+            let mut ins = vec![d0, clk];
+            ins.extend(rstn);
+            let id = self.sim.add_component(&format!("{name}_q0"), comp, &ins);
+            self.sim.connect_driver(id, q0_sig).expect("ring q0 already driven");
+            self.sim.set_signal_energy(q0_sig, p.energy_fj);
+        }
+        let t0 = self.inv(&format!("{name}_t0"), q0_sig);
+        let mut tokens = vec![t0];
+        let mut prev = t0;
+        for k in 1..n {
+            let q_sig = if k == n - 1 {
+                tok_last
+            } else {
+                self.sim.add_signal(&format!("{name}_q{k}"), 1)
+            };
+            let d = self.mux2(&format!("{name}_m{k}"), en, q_sig, prev);
+            let p = self.account(CellKind::Dff, 1);
+            let comp = crate::seq::Dff::new(d, clk, rstn, q_sig, 1, p.delay);
+            let mut ins = vec![d, clk];
+            ins.extend(rstn);
+            let id = self.sim.add_component(&format!("{name}_q{k}"), comp, &ins);
+            self.sim.connect_driver(id, q_sig).expect("ring stage already driven");
+            self.sim.set_signal_energy(q_sig, p.energy_fj);
+            tokens.push(q_sig);
+            prev = q_sig;
+        }
+        tokens
+    }
+
+    /// A one-hot multiplexer (AND-OR structure): selects `data[k]`
+    /// where `tokens[k]` is high. All data signals share one width;
+    /// tokens are 1-bit and assumed one-hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or lengths differ.
+    pub fn onehot_mux(
+        &mut self,
+        name: &str,
+        tokens: &[SignalId],
+        data: &[SignalId],
+    ) -> SignalId {
+        assert!(!tokens.is_empty(), "one-hot mux needs at least one input");
+        assert_eq!(tokens.len(), data.len(), "token/data count mismatch");
+        let mut terms: Vec<SignalId> = tokens
+            .iter()
+            .zip(data)
+            .enumerate()
+            .map(|(k, (&t, &d))| self.and2(&format!("{name}_and{k}"), d, t))
+            .collect();
+        // Reduce with a tree of OR gates (up to 4-input).
+        let mut level = 0;
+        while terms.len() > 1 {
+            let mut next = Vec::with_capacity(terms.len().div_ceil(4));
+            for (j, chunk) in terms.chunks(4).enumerate() {
+                let nm = format!("{name}_or{level}_{j}");
+                let out = match chunk {
+                    [a] => *a,
+                    [a, b] => self.or2(&nm, *a, *b),
+                    [a, b, c] => self.or3(&nm, *a, *b, *c),
+                    [a, b, c, d] => self.or4(&nm, *a, *b, *c, *d),
+                    _ => unreachable!("chunks(4) yields 1..=4 items"),
+                };
+                next.push(out);
+            }
+            terms = next;
+            level += 1;
+        }
+        terms[0]
+    }
+
+    /// A gated ring oscillator: one NAND (gating with `enable`) plus
+    /// `stages - 1` inverters in a loop. `stages` must be odd so the
+    /// loop inverts. Returns the oscillator output node. The paper's
+    /// word-level serializer derives its burst timing from exactly
+    /// this structure ("5 back to back invertors", §IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is even or zero.
+    pub fn ring_oscillator(&mut self, name: &str, enable: SignalId) -> SignalId {
+        self.ring_oscillator_stages(name, enable, 5)
+    }
+
+    /// Ring oscillator with an explicit stage count (see
+    /// [`CircuitBuilder::ring_oscillator`]).
+    pub fn ring_oscillator_stages(
+        &mut self,
+        name: &str,
+        enable: SignalId,
+        stages: usize,
+    ) -> SignalId {
+        assert!(stages % 2 == 1 && stages >= 3, "ring oscillator needs an odd stage count >= 3");
+        // Feedback node must exist before the NAND that closes the loop.
+        let fb = self.sim.add_signal(&format!("{name}_fb"), 1);
+        let g0 = self.gate(&format!("{name}_nand"), GateOp::Nand, CellKind::Nand(2), &[enable, fb]);
+        let mut node = g0;
+        for i in 0..stages - 2 {
+            node = self.inv(&format!("{name}_inv{i}"), node);
+        }
+        // Close the loop with the final inverter driving fb.
+        let p = self.account(CellKind::Inv, 1);
+        let comp = Gate::new(GateOp::Inv, vec![node], fb, 1, p.delay);
+        let id = self.sim.add_component(&format!("{name}_inv_fb"), comp, &[node]);
+        self.sim.connect_driver(id, fb).expect("ring feedback already driven");
+        self.sim.set_signal_energy(fb, p.energy_fj);
+        fb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::UnitLibrary;
+
+    #[test]
+    fn area_ledger_accumulates_per_scope() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let a = b.input("a", 1);
+        b.push_scope("blk");
+        let _ = b.inv("i0", a);
+        let bus = b.input("bus", 8);
+        let _ = b.buf("b0", bus); // 8 bits => 8 µm² in UnitLibrary
+        b.pop_scope();
+        let _ = b.inv("i1", a);
+        let ledger = b.finish();
+        assert!((ledger.subtree_um2("blk") - 9.0).abs() < 1e-9);
+        assert!((ledger.total_um2() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_prefix_is_component_wise() {
+        let mut l = AreaLedger::new();
+        l.add("link", 1.0);
+        l.add("link.ser", 2.0);
+        l.add("linker", 4.0);
+        assert!((l.subtree_um2("link") - 3.0).abs() < 1e-9);
+        assert!((l.subtree_um2("") - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_register_shifts() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let d = b.input("d", 1);
+        let rstn = b.input("rstn", 1);
+        let clk = b.clock("clk", Time::from_ns(1));
+        let taps = b.shift_register("sr", d, clk, Some(rstn), 3);
+        b.finish();
+        sim.stimulus(rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))]);
+        // One-cycle pulse on d.
+        sim.stimulus(
+            d,
+            &[
+                (Time::ZERO, Value::zero(1)),
+                (Time::from_ps(200), Value::one(1)),
+                (Time::from_ps(1200), Value::zero(1)),
+            ],
+        );
+        // Rising edges at 0.5, 1.5, 2.5, 3.5 ns.
+        sim.run_until(Time::from_ns(1)).unwrap();
+        assert!(sim.value(taps[0]).is_high());
+        sim.run_until(Time::from_ns(2)).unwrap();
+        assert!(sim.value(taps[0]).is_low());
+        assert!(sim.value(taps[1]).is_high());
+        sim.run_until(Time::from_ns(3)).unwrap();
+        assert!(sim.value(taps[2]).is_high());
+        sim.run_until(Time::from_ns(4)).unwrap();
+        assert!(sim.value(taps[2]).is_low());
+    }
+
+    #[test]
+    fn ring_oscillator_runs_when_enabled() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let en = b.input("en", 1);
+        let osc = b.ring_oscillator("ro", en);
+        b.finish();
+        sim.stimulus(en, &[(Time::ZERO, Value::zero(1)), (Time::from_ns(1), Value::one(1))]);
+        sim.run_until(Time::from_ns(1)).unwrap();
+        let toggles_disabled = sim.toggles(osc);
+        sim.run_until(Time::from_ns(3)).unwrap();
+        let toggles_enabled = sim.toggles(osc) - toggles_disabled;
+        // Period = 2 × 5 stages × 10 ps = 100 ps -> 20 half-periods per ns.
+        assert!(toggles_enabled >= 30, "oscillator barely ran: {toggles_enabled}");
+    }
+
+    #[test]
+    fn ring_oscillator_stops_when_disabled() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let en = b.input("en", 1);
+        let osc = b.ring_oscillator("ro", en);
+        b.finish();
+        // Enable must start low: from an all-X loop state the oscillator
+        // cannot self-start (X is a fixed point of the inverter chain),
+        // exactly like an unreset physical ring needs a known seed.
+        sim.stimulus(
+            en,
+            &[
+                (Time::ZERO, Value::zero(1)),
+                (Time::from_ps(500), Value::one(1)),
+                (Time::from_ns(2), Value::zero(1)),
+            ],
+        );
+        sim.run_until(Time::from_ns(2)).unwrap();
+        assert!(sim.toggles(osc) > 10);
+        let at_disable = sim.toggles(osc);
+        sim.run_until(Time::from_ns(4)).unwrap();
+        assert!(
+            sim.toggles(osc) <= at_disable + 2,
+            "oscillator kept running after disable"
+        );
+    }
+
+    #[test]
+    fn ring_counter_walks_one_hot() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let rstn = b.input("rstn", 1);
+        let clk = b.clock("clk", Time::from_ns(1));
+        let toks = b.ring_counter("ring", clk, Some(rstn), 4);
+        b.finish();
+        sim.stimulus(rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))]);
+        let read = |sim: &Simulator, toks: &[SignalId]| -> Vec<u64> {
+            toks.iter().map(|&t| sim.value(t).to_u64().unwrap_or(9)).collect()
+        };
+        // After reset, before any clock edge: token at stage 0.
+        sim.run_until(Time::from_ps(400)).unwrap();
+        assert_eq!(read(&sim, &toks), vec![1, 0, 0, 0]);
+        // Rising edges at 0.5, 1.5, 2.5, 3.5, 4.5 ns.
+        sim.run_until(Time::from_ns(1)).unwrap();
+        assert_eq!(read(&sim, &toks), vec![0, 1, 0, 0]);
+        sim.run_until(Time::from_ns(2)).unwrap();
+        assert_eq!(read(&sim, &toks), vec![0, 0, 1, 0]);
+        sim.run_until(Time::from_ns(3)).unwrap();
+        assert_eq!(read(&sim, &toks), vec![0, 0, 0, 1]);
+        sim.run_until(Time::from_ns(4)).unwrap();
+        assert_eq!(read(&sim, &toks), vec![1, 0, 0, 0]); // wrapped
+        // Exactly one token at all times after settling.
+        let total: u64 = read(&sim, &toks).iter().sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn ring_counter_en_holds_and_advances() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let rstn = b.input("rstn", 1);
+        let en = b.input("en", 1);
+        let clk = b.clock("clk", Time::from_ns(1));
+        let toks = b.ring_counter_en("ring", clk, en, Some(rstn), 4);
+        b.finish();
+        sim.stimulus(rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))]);
+        // Enabled for exactly one edge (the 1.5 ns edge), then hold.
+        sim.stimulus(
+            en,
+            &[
+                (Time::ZERO, Value::zero(1)),
+                (Time::from_ps(1200), Value::one(1)),
+                (Time::from_ps(1800), Value::zero(1)),
+            ],
+        );
+        let read = |sim: &Simulator, toks: &[SignalId]| -> Vec<u64> {
+            toks.iter().map(|&t| sim.value(t).to_u64().unwrap_or(9)).collect()
+        };
+        sim.run_until(Time::from_ns(1)).unwrap();
+        assert_eq!(read(&sim, &toks), vec![1, 0, 0, 0]); // held (en=0 at 0.5 ns edge)
+        sim.run_until(Time::from_ns(2)).unwrap();
+        assert_eq!(read(&sim, &toks), vec![0, 1, 0, 0]); // advanced at 1.5 ns
+        sim.run_until(Time::from_ns(5)).unwrap();
+        assert_eq!(read(&sim, &toks), vec![0, 1, 0, 0]); // held since
+    }
+
+    #[test]
+    fn slice_concat_and_transport() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let bus = b.input("bus", 32);
+        let lo = b.slice("lo", bus, 0, 16);
+        let hi = b.slice("hi", bus, 16, 16);
+        let back = b.concat("back", &[lo, hi]);
+        let wired = b.transport("seg", back, Time::from_ps(7), 2.5);
+        let ledger = b.finish();
+        assert_eq!(ledger.total_um2(), 0.0, "wiring must not add cell area");
+        sim.stimulus(bus, &[(Time::ZERO, Value::from_u64(32, 0xCAFE_F00D))]);
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(lo).to_u64(), Some(0xF00D));
+        assert_eq!(sim.value(hi).to_u64(), Some(0xCAFE));
+        assert_eq!(sim.value(back).to_u64(), Some(0xCAFE_F00D));
+        assert_eq!(sim.value(wired).to_u64(), Some(0xCAFE_F00D));
+        assert!((sim.signal_info(wired).energy_per_toggle_fj - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onehot_mux_selects_by_token() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let t: Vec<SignalId> = (0..4).map(|i| b.input(&format!("t{i}"), 1)).collect();
+        let d: Vec<SignalId> = (0..4).map(|i| b.input(&format!("d{i}"), 8)).collect();
+        let out = b.onehot_mux("m", &t, &d);
+        b.finish();
+        for (i, &di) in d.iter().enumerate() {
+            sim.stimulus(di, &[(Time::ZERO, Value::from_u64(8, 0x10 + i as u64))]);
+        }
+        for (i, &ti) in t.iter().enumerate() {
+            sim.stimulus(
+                ti,
+                &[
+                    (Time::ZERO, Value::from_bool(i == 0)),
+                    (Time::from_ns(1), Value::from_bool(i == 2)),
+                ],
+            );
+        }
+        sim.run_until(Time::from_ps(500)).unwrap();
+        assert_eq!(sim.value(out).to_u64(), Some(0x10));
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(out).to_u64(), Some(0x12));
+    }
+
+    #[test]
+    fn buf_chain_delays() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let a = b.input("a", 1);
+        let y = b.buf_chain("d", a, 5);
+        let ledger = b.finish();
+        assert!((ledger.total_um2() - 5.0).abs() < 1e-9);
+        sim.stimulus(a, &[(Time::ZERO, Value::zero(1)), (Time::from_ns(1), Value::one(1))]);
+        sim.run_until(Time::from_ns(1) + Time::from_ps(49)).unwrap();
+        assert!(sim.value(y).is_low());
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.value(y).is_high());
+        assert_eq!(sim.signal_info(y).last_change, Time::from_ns(1) + Time::from_ps(50));
+    }
+
+    #[test]
+    fn tie_and_wire_load() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let t = b.tie("hi", Value::one(1));
+        // 100 µm of wire at 0.2 fF/µm, 1.2 V: 0.5×20×1.44 = 14.4 fJ/toggle
+        // on top of the cell's 1.0.
+        b.add_wire_load(t, 100.0);
+        b.finish();
+        sim.run_to_quiescence().unwrap();
+        let info = sim.signal_info(t);
+        assert!((info.energy_per_toggle_fj - 15.4).abs() < 1e-9);
+        assert!(sim.value(t).is_high());
+    }
+}

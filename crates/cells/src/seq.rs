@@ -1,0 +1,233 @@
+//! Sequential cells: transparent latches and edge-triggered flip-flops.
+
+use sal_des::{Component, Ctx, Logic, SignalId, Time, Value};
+
+/// A word-wide transparent-high D latch with optional asynchronous
+/// active-low reset.
+///
+/// While `en` is high the latch is transparent (`q` follows `d` after
+/// the cell delay); on the falling edge of `en` the last value is
+/// held. When `rstn` is low, `q` is forced to zero regardless of `en`.
+#[derive(Debug)]
+pub struct DLatch {
+    d: SignalId,
+    en: SignalId,
+    rstn: Option<SignalId>,
+    q: SignalId,
+    width: u8,
+    delay: Time,
+    state: Value,
+}
+
+impl DLatch {
+    /// Creates a latch; see the type docs for port semantics.
+    pub fn new(
+        d: SignalId,
+        en: SignalId,
+        rstn: Option<SignalId>,
+        q: SignalId,
+        width: u8,
+        delay: Time,
+    ) -> Self {
+        DLatch { d, en, rstn, q, width, delay, state: Value::all_x(width) }
+    }
+}
+
+impl Component for DLatch {
+    fn on_input(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(rstn) = self.rstn {
+            if ctx.read(rstn).is_low() {
+                self.state = Value::zero(self.width);
+                ctx.drive(self.q, self.state, self.delay);
+                return;
+            }
+        }
+        match ctx.read(self.en).as_logic() {
+            Logic::One => {
+                self.state = ctx.read(self.d);
+                ctx.drive(self.q, self.state, self.delay);
+            }
+            Logic::Zero => { /* opaque: hold */ }
+            Logic::X => {
+                // Unknown enable: pessimistically X unless d equals the
+                // held state (then the output is that value either way).
+                if ctx.read(self.d) != self.state {
+                    self.state = Value::all_x(self.width);
+                    ctx.drive(self.q, self.state, self.delay);
+                }
+            }
+        }
+    }
+}
+
+/// A word-wide positive-edge D flip-flop with asynchronous active-low
+/// reset (clears to zero).
+#[derive(Debug)]
+pub struct Dff {
+    d: SignalId,
+    clk: SignalId,
+    rstn: Option<SignalId>,
+    q: SignalId,
+    width: u8,
+    delay: Time,
+    prev_clk: Logic,
+}
+
+impl Dff {
+    /// Creates a flip-flop; `q` updates `delay` after each rising edge
+    /// of `clk`, and clears to zero asynchronously while `rstn` is low.
+    pub fn new(
+        d: SignalId,
+        clk: SignalId,
+        rstn: Option<SignalId>,
+        q: SignalId,
+        width: u8,
+        delay: Time,
+    ) -> Self {
+        Dff { d, clk, rstn, q, width, delay, prev_clk: Logic::X }
+    }
+}
+
+impl Component for Dff {
+    fn on_input(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(rstn) = self.rstn {
+            if ctx.read(rstn).is_low() {
+                self.prev_clk = ctx.read(self.clk).as_logic();
+                ctx.drive(self.q, Value::zero(self.width), self.delay);
+                return;
+            }
+        }
+        let clk = ctx.read(self.clk).as_logic();
+        let rising = self.prev_clk == Logic::Zero && clk == Logic::One;
+        self.prev_clk = clk;
+        if rising {
+            let d = ctx.read(self.d);
+            ctx.drive(self.q, d, self.delay);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sal_des::Simulator;
+
+    #[test]
+    fn latch_transparent_then_holds() {
+        let mut sim = Simulator::new();
+        let d = sim.add_signal("d", 8);
+        let en = sim.add_signal("en", 1);
+        let q = sim.add_signal("q", 8);
+        let id = sim.add_component(
+            "lt",
+            DLatch::new(d, en, None, q, 8, Time::from_ps(5)),
+            &[d, en],
+        );
+        sim.connect_driver(id, q).unwrap();
+        sim.stimulus(
+            d,
+            &[
+                (Time::ZERO, Value::from_u64(8, 0xAA)),
+                (Time::from_ps(100), Value::from_u64(8, 0x55)),
+            ],
+        );
+        sim.stimulus(
+            en,
+            &[(Time::ZERO, Value::one(1)), (Time::from_ps(50), Value::zero(1))],
+        );
+        sim.run_until(Time::from_ps(40)).unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0xAA)); // transparent
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0xAA)); // held across d change
+    }
+
+    #[test]
+    fn latch_async_reset_dominates() {
+        let mut sim = Simulator::new();
+        let d = sim.add_signal("d", 4);
+        let en = sim.add_signal("en", 1);
+        let rstn = sim.add_signal("rstn", 1);
+        let q = sim.add_signal("q", 4);
+        let id = sim.add_component(
+            "lt",
+            DLatch::new(d, en, Some(rstn), q, 4, Time::from_ps(5)),
+            &[d, en, rstn],
+        );
+        sim.connect_driver(id, q).unwrap();
+        sim.stimulus(d, &[(Time::ZERO, Value::from_u64(4, 0xF))]);
+        sim.stimulus(en, &[(Time::ZERO, Value::one(1))]);
+        sim.stimulus(
+            rstn,
+            &[(Time::ZERO, Value::one(1)), (Time::from_ps(50), Value::zero(1))],
+        );
+        sim.run_until(Time::from_ps(30)).unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0xF));
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0));
+    }
+
+    fn dff_fixture(sim: &mut Simulator) -> (SignalId, SignalId, SignalId, SignalId) {
+        let d = sim.add_signal("d", 8);
+        let clk = sim.add_signal("clk", 1);
+        let rstn = sim.add_signal("rstn", 1);
+        let q = sim.add_signal("q", 8);
+        let id = sim.add_component(
+            "ff",
+            Dff::new(d, clk, Some(rstn), q, 8, Time::from_ps(5)),
+            &[d, clk, rstn],
+        );
+        sim.connect_driver(id, q).unwrap();
+        (d, clk, rstn, q)
+    }
+
+    #[test]
+    fn dff_samples_only_on_rising_edge() {
+        let mut sim = Simulator::new();
+        let (d, clk, rstn, q) = dff_fixture(&mut sim);
+        sim.stimulus(rstn, &[(Time::ZERO, Value::one(1))]);
+        sim.stimulus(
+            d,
+            &[
+                (Time::ZERO, Value::from_u64(8, 0x12)),
+                (Time::from_ps(150), Value::from_u64(8, 0x34)),
+            ],
+        );
+        sim.stimulus(
+            clk,
+            &[
+                (Time::ZERO, Value::zero(1)),
+                (Time::from_ps(100), Value::one(1)),
+                (Time::from_ps(200), Value::zero(1)),
+                (Time::from_ps(300), Value::one(1)),
+            ],
+        );
+        sim.run_until(Time::from_ps(50)).unwrap();
+        assert!(!sim.value(q).is_fully_known()); // nothing sampled yet
+        sim.run_until(Time::from_ps(150)).unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0x12));
+        // d changed mid-cycle: q must not follow until next rising edge.
+        sim.run_until(Time::from_ps(250)).unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0x12));
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0x34));
+    }
+
+    #[test]
+    fn dff_async_reset_clears() {
+        let mut sim = Simulator::new();
+        let (d, clk, rstn, q) = dff_fixture(&mut sim);
+        sim.stimulus(d, &[(Time::ZERO, Value::from_u64(8, 0xFF))]);
+        sim.stimulus(
+            clk,
+            &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))],
+        );
+        sim.stimulus(
+            rstn,
+            &[(Time::ZERO, Value::one(1)), (Time::from_ps(150), Value::zero(1))],
+        );
+        sim.run_until(Time::from_ps(120)).unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0xFF));
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0));
+    }
+}

@@ -1,0 +1,119 @@
+//! The event wheel.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{ComponentId, SignalId, Time, Value};
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum EventKind {
+    /// Commit `value` to `signal` if `epoch` is still current.
+    Drive { signal: SignalId, value: Value, epoch: u64 },
+    /// Call `on_wake` on the component.
+    Wake { comp: ComponentId },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Event {
+    pub time: Time,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop earliest (time, seq).
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic priority queue of events ordered by (time, insertion
+/// sequence). Two events at the same timestamp pop in the order they
+/// were scheduled, which makes whole simulations reproducible.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    pub fn push(&mut self, time: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)] // part of the queue's natural API; used in tests
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(c: u32) -> EventKind {
+        EventKind::Wake { comp: ComponentId(c) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(30), wake(0));
+        q.push(Time::from_ps(10), wake(1));
+        q.push(Time::from_ps(20), wake(2));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![Time::from_ps(10), Time::from_ps(20), Time::from_ps(30)]);
+    }
+
+    #[test]
+    fn same_time_pops_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(Time::from_ps(7), wake(i));
+        }
+        let seqs: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ns(2), wake(0));
+        q.push(Time::from_ns(1), wake(1));
+        assert_eq!(q.peek_time(), Some(Time::from_ns(1)));
+        assert_eq!(q.len(), 2);
+    }
+}

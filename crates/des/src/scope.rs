@@ -1,0 +1,125 @@
+//! Hierarchical design scopes.
+//!
+//! Circuits are built inside nested named scopes (like module instances
+//! in an HDL). Scopes drive two things: hierarchical signal names in
+//! waveform dumps, and per-block energy attribution — the paper's
+//! Fig 14 power breakdown is a per-scope energy rollup.
+
+use std::fmt;
+
+/// Identifier of a scope in the design hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScopeId(pub(crate) u32);
+
+impl ScopeId {
+    /// The root scope that every simulator starts with.
+    pub const ROOT: ScopeId = ScopeId(0);
+}
+
+/// A dotted hierarchical path such as `link.ser.dc0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScopePath(pub(crate) String);
+
+impl ScopePath {
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True if this path equals `prefix` or is nested beneath it.
+    pub fn starts_with_scope(&self, prefix: &str) -> bool {
+        self.0 == prefix || (self.0.starts_with(prefix) && self.0[prefix.len()..].starts_with('.'))
+    }
+}
+
+impl fmt::Display for ScopePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct ScopeTree {
+    names: Vec<String>,
+    parents: Vec<Option<ScopeId>>,
+    paths: Vec<String>,
+}
+
+impl ScopeTree {
+    pub fn new() -> Self {
+        ScopeTree {
+            names: vec![String::new()],
+            parents: vec![None],
+            paths: vec![String::new()],
+        }
+    }
+
+    pub fn child(&mut self, parent: ScopeId, name: &str) -> ScopeId {
+        let id = ScopeId(self.names.len() as u32);
+        let path = if self.paths[parent.0 as usize].is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.paths[parent.0 as usize], name)
+        };
+        self.names.push(name.to_string());
+        self.parents.push(Some(parent));
+        self.paths.push(path);
+        id
+    }
+
+    #[allow(dead_code)] // part of the tree's natural API; used in tests
+    pub fn parent(&self, id: ScopeId) -> Option<ScopeId> {
+        self.parents[id.0 as usize]
+    }
+
+    pub fn path(&self, id: ScopeId) -> ScopePath {
+        ScopePath(self.paths[id.0 as usize].clone())
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// All scope ids whose path is `prefix` or nested beneath it.
+    pub fn subtree(&self, prefix: &str) -> Vec<ScopeId> {
+        (0..self.names.len())
+            .map(|i| ScopeId(i as u32))
+            .filter(|id| ScopePath(self.paths[id.0 as usize].clone()).starts_with_scope(prefix))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_nest() {
+        let mut t = ScopeTree::new();
+        let a = t.child(ScopeId::ROOT, "link");
+        let b = t.child(a, "ser");
+        assert_eq!(t.path(a).as_str(), "link");
+        assert_eq!(t.path(b).as_str(), "link.ser");
+        assert_eq!(t.parent(b), Some(a));
+        assert_eq!(t.parent(ScopeId::ROOT), None);
+    }
+
+    #[test]
+    fn starts_with_scope_is_component_wise() {
+        let p = ScopePath("link.serde".to_string());
+        assert!(!p.starts_with_scope("link.ser"));
+        assert!(p.starts_with_scope("link"));
+        assert!(p.starts_with_scope("link.serde"));
+    }
+
+    #[test]
+    fn subtree_collects_descendants() {
+        let mut t = ScopeTree::new();
+        let a = t.child(ScopeId::ROOT, "link");
+        let b = t.child(a, "ser");
+        let _c = t.child(ScopeId::ROOT, "other");
+        let sub = t.subtree("link");
+        assert!(sub.contains(&a) && sub.contains(&b));
+        assert_eq!(sub.len(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Signals (nets) in the netlist.
+
+use crate::{ComponentId, ScopeId, Time, Value};
+
+/// Identifier of a signal in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The raw index of this signal in the netlist.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Public, read-only view of a signal's metadata and statistics.
+#[derive(Debug, Clone)]
+pub struct SignalInfo {
+    /// Local name within its scope.
+    pub name: String,
+    /// Full hierarchical name.
+    pub path: String,
+    /// Width in bits.
+    pub width: u8,
+    /// Current committed value.
+    pub value: Value,
+    /// Total bit toggles committed so far.
+    pub toggles: u64,
+    /// Time of the last committed change.
+    pub last_change: Time,
+    /// Energy charged per bit toggle, in femtojoules.
+    pub energy_per_toggle_fj: f64,
+}
+
+#[derive(Debug)]
+pub(crate) struct SignalState {
+    pub name: String,
+    pub width: u8,
+    pub scope: ScopeId,
+    pub value: Value,
+    pub last_change: Time,
+    pub toggles: u64,
+    /// Components whose inputs include this signal.
+    pub fanout: Vec<ComponentId>,
+    /// The unique driving component, if attached.
+    pub driver: Option<ComponentId>,
+    /// Monotone counter used to cancel superseded (inertial) drives.
+    pub drive_epoch: u64,
+    /// True while a drive event for this signal is in the queue.
+    pub pending: bool,
+    /// The value the in-flight drive will commit (valid while
+    /// `pending`); re-driving the same value keeps the earlier event.
+    pub pending_value: Value,
+    /// Energy charged per bit toggle (set by the technology annotator).
+    pub energy_per_toggle_fj: f64,
+}
+
+impl SignalState {
+    pub fn new(name: String, width: u8, scope: ScopeId) -> Self {
+        SignalState {
+            name,
+            width,
+            scope,
+            value: Value::all_x(width),
+            last_change: Time::ZERO,
+            toggles: 0,
+            fanout: Vec::new(),
+            driver: None,
+            drive_epoch: 0,
+            pending: false,
+            pending_value: Value::all_x(width),
+            energy_per_toggle_fj: 0.0,
+        }
+    }
+}

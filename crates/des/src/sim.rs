@@ -1,0 +1,709 @@
+//! The simulator: netlist container plus event loop.
+
+use crate::component::{Component, ComponentId, Ctx};
+use crate::event::{EventKind, EventQueue};
+use crate::scope::{ScopeId, ScopePath, ScopeTree};
+use crate::signal::{SignalId, SignalInfo, SignalState};
+use crate::stats::{ActivityReport, EnergyReport, ScopeEnergy};
+use crate::{SimError, SimResult, Time, Value};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Hard cap on processed events per `run_*` call, as a safety net
+    /// against oscillating loops. The default (200 million) is far above
+    /// any experiment in this repository.
+    pub max_events: u64,
+    /// Record every committed signal change for later VCD export.
+    /// Costs memory proportional to activity; off by default.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_events: 200_000_000, trace: false }
+    }
+}
+
+/// The mutable core shared with component evaluation contexts.
+pub(crate) struct Kernel {
+    pub signals: Vec<SignalState>,
+    pub queue: EventQueue,
+    pub now: Time,
+    /// Scope of each component, indexed by `ComponentId`.
+    pub comp_scopes: Vec<ScopeId>,
+    /// Accumulated switching + internal energy per scope, femtojoules.
+    pub scope_energy_fj: Vec<f64>,
+    /// Committed-change trace for VCD export, if enabled.
+    pub trace: Option<Vec<(Time, SignalId, Value)>>,
+}
+
+/// An event-driven gate-level simulator holding a netlist of signals
+/// and [`Component`]s.
+///
+/// See the [crate-level documentation](crate) for the simulation model
+/// and a complete example.
+pub struct Simulator {
+    kernel: Kernel,
+    comps: Vec<Option<Box<dyn Component>>>,
+    comp_names: Vec<String>,
+    scopes: ScopeTree,
+    scope_stack: Vec<ScopeId>,
+    config: SimConfig,
+    events_processed: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("signals", &self.kernel.signals.len())
+            .field("components", &self.comps.len())
+            .field("now", &self.kernel.now)
+            .field("pending_events", &self.kernel.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(SimConfig::default())
+    }
+
+    /// Creates an empty simulator with the given configuration.
+    pub fn with_config(config: SimConfig) -> Self {
+        let trace = if config.trace { Some(Vec::new()) } else { None };
+        Simulator {
+            kernel: Kernel {
+                signals: Vec::new(),
+                queue: EventQueue::new(),
+                now: Time::ZERO,
+                comp_scopes: Vec::new(),
+                scope_energy_fj: vec![0.0],
+                trace,
+            },
+            comps: Vec::new(),
+            comp_names: Vec::new(),
+            scopes: ScopeTree::new(),
+            scope_stack: vec![ScopeId::ROOT],
+            config,
+            events_processed: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Netlist construction
+    // ------------------------------------------------------------------
+
+    /// Enters a child scope of the current scope. Signals and
+    /// components added until the matching [`Simulator::pop_scope`]
+    /// belong to it (hierarchical names, energy attribution).
+    pub fn push_scope(&mut self, name: &str) -> ScopeId {
+        let id = self.scopes.child(self.current_scope(), name);
+        self.scope_stack.push(id);
+        self.kernel.scope_energy_fj.push(0.0);
+        id
+    }
+
+    /// Leaves the current scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an attempt to pop the root scope.
+    pub fn pop_scope(&mut self) {
+        assert!(self.scope_stack.len() > 1, "cannot pop the root scope");
+        self.scope_stack.pop();
+    }
+
+    /// The scope new signals/components are currently added to.
+    pub fn current_scope(&self) -> ScopeId {
+        *self.scope_stack.last().expect("scope stack never empty")
+    }
+
+    /// The dotted path of a scope.
+    pub fn scope_path(&self, id: ScopeId) -> ScopePath {
+        self.scopes.path(id)
+    }
+
+    /// Adds a signal of the given width to the current scope. The
+    /// signal starts as all-`X` with no driver attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn add_signal(&mut self, name: &str, width: u8) -> SignalId {
+        assert!(width >= 1 && width <= Value::MAX_WIDTH, "width must be 1..=64");
+        let id = SignalId(self.kernel.signals.len() as u32);
+        self.kernel
+            .signals
+            .push(SignalState::new(name.to_string(), width, self.current_scope()));
+        id
+    }
+
+    /// Adds a component to the current scope. `inputs` lists the
+    /// signals whose changes should trigger [`Component::on_input`].
+    pub fn add_component<C: Component>(
+        &mut self,
+        name: &str,
+        comp: C,
+        inputs: &[SignalId],
+    ) -> ComponentId {
+        let id = ComponentId(self.comps.len() as u32);
+        self.comps.push(Some(Box::new(comp)));
+        self.comp_names.push(name.to_string());
+        self.kernel.comp_scopes.push(self.current_scope());
+        for &sig in inputs {
+            let fanout = &mut self.kernel.signals[sig.index()].fanout;
+            if !fanout.contains(&id) {
+                fanout.push(id);
+            }
+        }
+        id
+    }
+
+    /// Registers `comp` as the unique driver of `sig`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MultipleDrivers`] if another component
+    /// already drives the signal.
+    pub fn connect_driver(&mut self, comp: ComponentId, sig: SignalId) -> SimResult<()> {
+        let state = &mut self.kernel.signals[sig.index()];
+        if let Some(existing) = state.driver {
+            if existing != comp {
+                return Err(SimError::MultipleDrivers { signal: sig, existing, attempted: comp });
+            }
+        }
+        state.driver = Some(comp);
+        Ok(())
+    }
+
+    /// Adds a stimulus source that drives `sig` with each listed value
+    /// at the listed absolute time. Times must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal already has a driver, if a value width
+    /// mismatches, or if times are not sorted.
+    pub fn stimulus(&mut self, sig: SignalId, schedule: &[(Time, Value)]) -> ComponentId {
+        assert!(
+            schedule.windows(2).all(|w| w[0].0 <= w[1].0),
+            "stimulus schedule must be sorted by time"
+        );
+        for (_, v) in schedule {
+            assert_eq!(
+                v.width(),
+                self.kernel.signals[sig.index()].width,
+                "stimulus width mismatch on '{}'",
+                self.kernel.signals[sig.index()].name
+            );
+        }
+        let comp = Stimulus { sig, schedule: schedule.to_vec(), next: 0 };
+        let id = self.add_component("stimulus", comp, &[]);
+        self.connect_driver(id, sig).expect("stimulus target already driven");
+        if !schedule.is_empty() {
+            self.kernel.queue.push(schedule[0].0, EventKind::Wake { comp: id });
+        }
+        id
+    }
+
+    /// Adds a monitor invoked with `(time, value)` after every commit
+    /// of `sig`. Monitors drive nothing and are ideal for measurements.
+    pub fn monitor<F>(&mut self, name: &str, sig: SignalId, callback: F) -> ComponentId
+    where
+        F: FnMut(Time, Value) + 'static,
+    {
+        let comp = MonitorComp { sig, callback: Box::new(callback) };
+        self.add_component(name, comp, &[sig])
+    }
+
+    /// Schedules an initial wakeup for a component (used by sources
+    /// that need a kick before any input ever changes).
+    pub fn schedule_wake(&mut self, comp: ComponentId, at: Time) {
+        self.kernel.queue.push(at, EventKind::Wake { comp });
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The committed value of a signal.
+    pub fn value(&self, sig: SignalId) -> Value {
+        self.kernel.signals[sig.index()].value
+    }
+
+    /// Total committed bit toggles of a signal.
+    pub fn toggles(&self, sig: SignalId) -> u64 {
+        self.kernel.signals[sig.index()].toggles
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Time {
+        self.kernel.now
+    }
+
+    /// Number of signals in the netlist.
+    pub fn signal_count(&self) -> usize {
+        self.kernel.signals.len()
+    }
+
+    /// Number of components in the netlist.
+    pub fn component_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Full metadata and statistics for a signal.
+    pub fn signal_info(&self, sig: SignalId) -> SignalInfo {
+        let s = &self.kernel.signals[sig.index()];
+        let scope_path = self.scopes.path(s.scope);
+        let path = if scope_path.as_str().is_empty() {
+            s.name.clone()
+        } else {
+            format!("{}.{}", scope_path, s.name)
+        };
+        SignalInfo {
+            name: s.name.clone(),
+            path,
+            width: s.width,
+            value: s.value,
+            toggles: s.toggles,
+            last_change: s.last_change,
+            energy_per_toggle_fj: s.energy_per_toggle_fj,
+        }
+    }
+
+    /// Looks a signal up by its full hierarchical path.
+    pub fn signal_by_path(&self, path: &str) -> Option<SignalId> {
+        (0..self.kernel.signals.len())
+            .map(|i| SignalId(i as u32))
+            .find(|&id| self.signal_info(id).path == path)
+    }
+
+    /// Iterates over all signal ids.
+    pub fn signal_ids(&self) -> impl Iterator<Item = SignalId> {
+        (0..self.kernel.signals.len() as u32).map(SignalId)
+    }
+
+    /// Sets the energy charged per bit toggle of `sig`, in femtojoules.
+    /// Called by the technology annotator after netlist construction.
+    pub fn set_signal_energy(&mut self, sig: SignalId, fj_per_toggle: f64) {
+        self.kernel.signals[sig.index()].energy_per_toggle_fj = fj_per_toggle;
+    }
+
+    /// Adds to the energy charged per bit toggle of `sig` (e.g. extra
+    /// wire load discovered after the driving cell was created).
+    pub fn add_signal_energy(&mut self, sig: SignalId, fj_per_toggle: f64) {
+        self.kernel.signals[sig.index()].energy_per_toggle_fj += fj_per_toggle;
+    }
+
+    /// Activity statistics for every signal.
+    pub fn activity_report(&self) -> ActivityReport {
+        ActivityReport {
+            signals: self
+                .signal_ids()
+                .map(|id| {
+                    let info = self.signal_info(id);
+                    (info.path, info.toggles)
+                })
+                .collect(),
+            sim_time: self.kernel.now,
+        }
+    }
+
+    /// Switching + internal energy accumulated per scope since the last
+    /// [`Simulator::reset_energy`], rolled up into an [`EnergyReport`].
+    pub fn energy_report(&self) -> EnergyReport {
+        let per_scope: Vec<ScopeEnergy> = (0..self.scopes.len())
+            .map(|i| ScopeEnergy {
+                path: self.scopes.path(ScopeId(i as u32)).as_str().to_string(),
+                energy_fj: self.kernel.scope_energy_fj[i],
+            })
+            .collect();
+        EnergyReport { scopes: per_scope, sim_time: self.kernel.now }
+    }
+
+    /// Energy (femtojoules) of a scope subtree selected by path prefix.
+    pub fn subtree_energy_fj(&self, prefix: &str) -> f64 {
+        self.scopes
+            .subtree(prefix)
+            .into_iter()
+            .map(|s| self.kernel.scope_energy_fj[s.0 as usize])
+            .sum()
+    }
+
+    /// Clears all accumulated energy (e.g. after a warm-up phase, so a
+    /// measurement window starts from zero).
+    pub fn reset_energy(&mut self) {
+        for e in &mut self.kernel.scope_energy_fj {
+            *e = 0.0;
+        }
+    }
+
+    /// Clears all per-signal toggle counters.
+    pub fn reset_toggles(&mut self) {
+        for s in &mut self.kernel.signals {
+            s.toggles = 0;
+        }
+    }
+
+    /// The recorded signal-change trace, if tracing was enabled.
+    pub(crate) fn trace(&self) -> Option<&[(Time, SignalId, Value)]> {
+        self.kernel.trace.as_deref()
+    }
+
+    /// Internal access for the VCD writer.
+    pub(crate) fn signal_state(&self, sig: SignalId) -> (&str, u8) {
+        let s = &self.kernel.signals[sig.index()];
+        (&s.name, s.width)
+    }
+
+    /// Scope path string of the scope a signal lives in.
+    pub(crate) fn signal_scope_path(&self, sig: SignalId) -> String {
+        let s = &self.kernel.signals[sig.index()];
+        self.scopes.path(s.scope).as_str().to_string()
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Runs until the event queue is exhausted or simulated time would
+    /// pass `horizon`. Events *at* the horizon are processed. Returns
+    /// the final simulation time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the configured event
+    /// budget is exhausted (runaway oscillation).
+    pub fn run_until(&mut self, horizon: Time) -> SimResult<Time> {
+        let mut processed: u64 = 0;
+        while let Some(t) = self.kernel.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            processed += 1;
+            if processed > self.config.max_events {
+                return Err(SimError::EventLimitExceeded {
+                    at: self.kernel.now,
+                    limit: self.config.max_events,
+                });
+            }
+            self.step_one();
+        }
+        self.events_processed += processed;
+        // Advance to the horizon even if the queue went quiet earlier.
+        if self.kernel.now < horizon {
+            self.kernel.now = horizon;
+        }
+        Ok(self.kernel.now)
+    }
+
+    /// Runs for `span` beyond the current time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_until`].
+    pub fn run_for(&mut self, span: Time) -> SimResult<Time> {
+        let horizon = self.kernel.now + span;
+        self.run_until(horizon)
+    }
+
+    /// Runs until no events remain (only sensible for circuits without
+    /// free-running sources such as clocks or ring oscillators).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_until`].
+    pub fn run_to_quiescence(&mut self) -> SimResult<Time> {
+        self.run_until(Time::MAX)
+    }
+
+    fn step_one(&mut self) {
+        let ev = self.kernel.queue.pop().expect("step_one on empty queue");
+        self.kernel.now = ev.time;
+        match ev.kind {
+            EventKind::Wake { comp } => self.eval(comp, true),
+            EventKind::Drive { signal, value, epoch } => {
+                let st = &mut self.kernel.signals[signal.index()];
+                if epoch != st.drive_epoch {
+                    return; // superseded (inertial cancellation)
+                }
+                st.pending = false;
+                if st.value == value {
+                    return;
+                }
+                let toggles = st.value.toggles_to(&value);
+                st.toggles += toggles as u64;
+                st.value = value;
+                st.last_change = ev.time;
+                let scope = st.scope;
+                let energy = toggles as f64 * st.energy_per_toggle_fj;
+                self.kernel.scope_energy_fj[scope.0 as usize] += energy;
+                if let Some(trace) = &mut self.kernel.trace {
+                    trace.push((ev.time, signal, value));
+                }
+                let fanout = self.kernel.signals[signal.index()].fanout.clone();
+                for comp in fanout {
+                    self.eval(comp, false);
+                }
+            }
+        }
+    }
+
+    fn eval(&mut self, comp: ComponentId, wake: bool) {
+        let mut boxed = self.comps[comp.index()]
+            .take()
+            .expect("re-entrant component evaluation");
+        {
+            let mut ctx = Ctx { kernel: &mut self.kernel, comp };
+            if wake {
+                boxed.on_wake(&mut ctx);
+            } else {
+                boxed.on_input(&mut ctx);
+            }
+        }
+        self.comps[comp.index()] = Some(boxed);
+    }
+}
+
+/// Drives a fixed schedule of values onto one signal.
+struct Stimulus {
+    sig: SignalId,
+    schedule: Vec<(Time, Value)>,
+    next: usize,
+}
+
+impl Component for Stimulus {
+    fn on_input(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        while self.next < self.schedule.len() && self.schedule[self.next].0 <= ctx.now() {
+            let (_, v) = self.schedule[self.next];
+            ctx.drive(self.sig, v, Time::ZERO);
+            self.next += 1;
+        }
+        if self.next < self.schedule.len() {
+            let t = self.schedule[self.next].0;
+            let now = ctx.now();
+            ctx.wake_after(t - now);
+        }
+    }
+}
+
+/// Calls a closure after each commit of a watched signal.
+struct MonitorComp {
+    sig: SignalId,
+    callback: Box<dyn FnMut(Time, Value)>,
+}
+
+impl Component for MonitorComp {
+    fn on_input(&mut self, ctx: &mut Ctx<'_>) {
+        let v = ctx.read(self.sig);
+        (self.callback)(ctx.now(), v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Not {
+        a: SignalId,
+        y: SignalId,
+        delay: Time,
+    }
+
+    impl Component for Not {
+        fn on_input(&mut self, ctx: &mut Ctx<'_>) {
+            let v = ctx.read(self.a).not();
+            ctx.drive(self.y, v, self.delay);
+        }
+    }
+
+    fn inverter(sim: &mut Simulator, a: SignalId, delay: Time) -> SignalId {
+        let y = sim.add_signal("y", 1);
+        let id = sim.add_component("not", Not { a, y, delay }, &[a]);
+        sim.connect_driver(id, y).unwrap();
+        y
+    }
+
+    #[test]
+    fn stimulus_and_gate_propagation() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let y = inverter(&mut sim, a, Time::from_ps(10));
+        sim.stimulus(a, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))]);
+        sim.run_until(Time::from_ps(50)).unwrap();
+        assert!(sim.value(y).is_high());
+        sim.run_until(Time::from_ps(200)).unwrap();
+        assert!(sim.value(y).is_low());
+    }
+
+    #[test]
+    fn inertial_delay_filters_glitch() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let y = inverter(&mut sim, a, Time::from_ps(50));
+        // 20 ps pulse, shorter than the 50 ps gate delay: must vanish.
+        sim.stimulus(
+            a,
+            &[
+                (Time::ZERO, Value::zero(1)),
+                (Time::from_ps(200), Value::one(1)),
+                (Time::from_ps(220), Value::zero(1)),
+            ],
+        );
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.value(y).is_high());
+        // One transition X->1 only; the glitch never reached y.
+        assert_eq!(sim.toggles(y), 1);
+    }
+
+    #[test]
+    fn toggle_and_energy_accounting() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 8);
+        sim.set_signal_energy(a, 2.0);
+        sim.stimulus(
+            a,
+            &[
+                (Time::ZERO, Value::from_u64(8, 0x00)),
+                (Time::from_ps(10), Value::from_u64(8, 0xFF)),
+                (Time::from_ps(20), Value::from_u64(8, 0x0F)),
+            ],
+        );
+        sim.run_to_quiescence().unwrap();
+        // X->00 is 8 toggles, 00->FF is 8, FF->0F is 4.
+        assert_eq!(sim.toggles(a), 20);
+        let e = sim.subtree_energy_fj("");
+        assert!((e - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monitor_sees_commits_in_order() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 4);
+        sim.monitor("mon", a, move |t, v| {
+            seen2.borrow_mut().push((t, v.to_u64().unwrap()));
+        });
+        sim.stimulus(
+            a,
+            &[
+                (Time::from_ps(5), Value::from_u64(4, 1)),
+                (Time::from_ps(15), Value::from_u64(4, 2)),
+            ],
+        );
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(
+            &*seen.borrow(),
+            &[(Time::from_ps(5), 1), (Time::from_ps(15), 2)]
+        );
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let y = sim.add_signal("y", 1);
+        let c1 = sim.add_component("n1", Not { a, y, delay: Time::from_ps(1) }, &[a]);
+        let c2 = sim.add_component("n2", Not { a, y, delay: Time::from_ps(1) }, &[a]);
+        sim.connect_driver(c1, y).unwrap();
+        let err = sim.connect_driver(c2, y).unwrap_err();
+        assert!(matches!(err, SimError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn run_until_advances_time_even_when_quiet() {
+        let mut sim = Simulator::new();
+        let t = sim.run_until(Time::from_ns(5)).unwrap();
+        assert_eq!(t, Time::from_ns(5));
+        assert_eq!(sim.now(), Time::from_ns(5));
+    }
+
+    #[test]
+    fn event_limit_catches_oscillation() {
+        // s = or(r, kick); r = not(s). Once kick pulses high and falls
+        // back, the loop oscillates forever with 1 ps gate delays.
+        let mut sim = Simulator::with_config(SimConfig { max_events: 1000, trace: false });
+        let kick = sim.add_signal("kick", 1);
+        let s = sim.add_signal("s", 1);
+        let r = sim.add_signal("r", 1);
+        let g1 = sim.add_component("g1", Not { a: s, y: r, delay: Time::from_ps(1) }, &[s]);
+        sim.connect_driver(g1, r).unwrap();
+        let g2 = sim.add_component("g2", Or { a: r, b: kick, y: s }, &[r, kick]);
+        sim.connect_driver(g2, s).unwrap();
+        sim.stimulus(
+            kick,
+            &[(Time::ZERO, Value::one(1)), (Time::from_ps(10), Value::zero(1))],
+        );
+        let res = sim.run_until(Time::from_ns(100));
+        assert!(matches!(res, Err(SimError::EventLimitExceeded { .. })));
+    }
+
+    struct Or {
+        a: SignalId,
+        b: SignalId,
+        y: SignalId,
+    }
+    impl Component for Or {
+        fn on_input(&mut self, ctx: &mut Ctx<'_>) {
+            let v = ctx.read(self.a).or(&ctx.read(self.b));
+            ctx.drive(self.y, v, Time::from_ps(1));
+        }
+    }
+
+    #[test]
+    fn scope_energy_rollup() {
+        let mut sim = Simulator::new();
+        sim.push_scope("blk");
+        let a = sim.add_signal("a", 1);
+        sim.set_signal_energy(a, 3.0);
+        sim.pop_scope();
+        sim.stimulus(a, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(1), Value::one(1))]);
+        sim.run_to_quiescence().unwrap();
+        assert!((sim.subtree_energy_fj("blk") - 6.0).abs() < 1e-9);
+        assert_eq!(sim.subtree_energy_fj("other"), 0.0);
+    }
+
+    #[test]
+    fn signal_paths_and_lookup() {
+        let mut sim = Simulator::new();
+        sim.push_scope("top");
+        sim.push_scope("sub");
+        let a = sim.add_signal("data", 8);
+        sim.pop_scope();
+        sim.pop_scope();
+        assert_eq!(sim.signal_info(a).path, "top.sub.data");
+        assert_eq!(sim.signal_by_path("top.sub.data"), Some(a));
+        assert_eq!(sim.signal_by_path("nope"), None);
+    }
+
+    #[test]
+    fn reset_counters() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        sim.set_signal_energy(a, 1.0);
+        sim.stimulus(a, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(1), Value::one(1))]);
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.toggles(a) > 0);
+        sim.reset_toggles();
+        sim.reset_energy();
+        assert_eq!(sim.toggles(a), 0);
+        assert_eq!(sim.subtree_energy_fj(""), 0.0);
+    }
+}

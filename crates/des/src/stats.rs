@@ -1,0 +1,111 @@
+//! Activity and energy reports.
+
+use crate::Time;
+
+/// Per-signal toggle counts over a simulation run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ActivityReport {
+    /// `(hierarchical path, committed bit toggles)` per signal.
+    pub signals: Vec<(String, u64)>,
+    /// Simulation time at which the report was taken.
+    pub sim_time: Time,
+}
+
+impl ActivityReport {
+    /// Total bit toggles across all signals.
+    pub fn total_toggles(&self) -> u64 {
+        self.signals.iter().map(|(_, t)| t).sum()
+    }
+
+    /// The `n` most active signals, most active first.
+    pub fn top_n(&self, n: usize) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> =
+            self.signals.iter().map(|(p, t)| (p.as_str(), *t)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+/// Energy accumulated in one scope (exclusive of children).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScopeEnergy {
+    /// Dotted scope path; empty string is the root.
+    pub path: String,
+    /// Energy in femtojoules.
+    pub energy_fj: f64,
+}
+
+/// Per-scope energy over a simulation run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EnergyReport {
+    /// One entry per scope, in creation order.
+    pub scopes: Vec<ScopeEnergy>,
+    /// Simulation time at which the report was taken.
+    pub sim_time: Time,
+}
+
+impl EnergyReport {
+    /// Total energy across the whole design, femtojoules.
+    pub fn total_fj(&self) -> f64 {
+        self.scopes.iter().map(|s| s.energy_fj).sum()
+    }
+
+    /// Energy of the subtree rooted at `prefix` (inclusive).
+    pub fn subtree_fj(&self, prefix: &str) -> f64 {
+        self.scopes
+            .iter()
+            .filter(|s| {
+                s.path == prefix
+                    || (s.path.starts_with(prefix) && s.path[prefix.len()..].starts_with('.'))
+                    || prefix.is_empty()
+            })
+            .map(|s| s.energy_fj)
+            .sum()
+    }
+
+    /// Average power over the run in microwatts, given the energy is in
+    /// femtojoules and the window is `window` long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn average_power_uw(&self, prefix: &str, window: Time) -> f64 {
+        assert!(!window.is_zero(), "zero averaging window");
+        let fj = self.subtree_fj(prefix);
+        // fJ / s = 1e-15 W; report µW (1e-6 W).
+        fj * 1e-15 / window.as_secs() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_totals_and_top() {
+        let r = ActivityReport {
+            signals: vec![("a".into(), 5), ("b".into(), 9), ("c".into(), 1)],
+            sim_time: Time::from_ns(1),
+        };
+        assert_eq!(r.total_toggles(), 15);
+        assert_eq!(r.top_n(2), vec![("b", 9), ("a", 5)]);
+    }
+
+    #[test]
+    fn energy_subtree_and_power() {
+        let r = EnergyReport {
+            scopes: vec![
+                ScopeEnergy { path: "link".into(), energy_fj: 100.0 },
+                ScopeEnergy { path: "link.ser".into(), energy_fj: 50.0 },
+                ScopeEnergy { path: "linker".into(), energy_fj: 999.0 },
+            ],
+            sim_time: Time::from_ns(1),
+        };
+        assert!((r.subtree_fj("link") - 150.0).abs() < 1e-9);
+        assert!((r.total_fj() - 1149.0).abs() < 1e-9);
+        // 150 fJ over 1 ns = 150 µW.
+        let p = r.average_power_uw("link", Time::from_ns(1));
+        assert!((p - 150.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,540 @@
+//! Multi-bit signal values with unknown (`X`) propagation.
+
+use std::fmt;
+
+/// A single-bit logic level: `0`, `1` or unknown.
+///
+/// The kernel uses three-state logic: every signal starts as [`Logic::X`]
+/// until something drives it, and `X` propagates pessimistically through
+/// combinational operators exactly as in an HDL simulator. There is no
+/// high-impedance state because every net in the reproduced circuits has
+/// exactly one driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialised.
+    X,
+}
+
+impl Logic {
+    /// Converts a boolean into a known logic level.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for known levels and `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// True if the level is `0` or `1`.
+    pub fn is_known(self) -> bool {
+        !matches!(self, Logic::X)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Logic::Zero => write!(f, "0"),
+            Logic::One => write!(f, "1"),
+            Logic::X => write!(f, "x"),
+        }
+    }
+}
+
+/// A bit-vector value of width 1..=64 with a per-bit unknown mask.
+///
+/// Whole datapath buses are modelled as single signals carrying a
+/// `Value`; transition counting works on bit toggles so activity-based
+/// power estimation stays exact. Bits above `width` are always zero in
+/// both `bits` and `x`.
+///
+/// # Examples
+///
+/// ```
+/// use sal_des::Value;
+/// let a = Value::from_u64(8, 0xA5);
+/// let b = Value::from_u64(8, 0x5A);
+/// assert_eq!(a.xor(&b), Value::from_u64(8, 0xFF));
+/// assert_eq!(a.toggles_to(&b), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Value {
+    width: u8,
+    bits: u64,
+    x: u64,
+}
+
+impl Value {
+    /// Maximum supported bus width.
+    pub const MAX_WIDTH: u8 = 64;
+
+    fn mask(width: u8) -> u64 {
+        debug_assert!(width >= 1 && width <= 64);
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// An all-zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn zero(width: u8) -> Value {
+        assert!(width >= 1 && width <= 64, "width must be 1..=64");
+        Value { width, bits: 0, x: 0 }
+    }
+
+    /// An all-ones value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn ones(width: u8) -> Value {
+        assert!(width >= 1 && width <= 64, "width must be 1..=64");
+        Value { width, bits: Self::mask(width), x: 0 }
+    }
+
+    /// An all-unknown value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn all_x(width: u8) -> Value {
+        assert!(width >= 1 && width <= 64, "width must be 1..=64");
+        Value { width, bits: 0, x: Self::mask(width) }
+    }
+
+    /// A single-bit `1`.
+    pub fn one(width: u8) -> Value {
+        Value::from_u64(width, 1)
+    }
+
+    /// A fully-known value from an integer; bits above `width` are
+    /// discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn from_u64(width: u8, v: u64) -> Value {
+        assert!(width >= 1 && width <= 64, "width must be 1..=64");
+        Value { width, bits: v & Self::mask(width), x: 0 }
+    }
+
+    /// A single-bit value from a [`Logic`] level.
+    pub fn from_logic(l: Logic) -> Value {
+        match l {
+            Logic::Zero => Value::zero(1),
+            Logic::One => Value::ones(1),
+            Logic::X => Value::all_x(1),
+        }
+    }
+
+    /// A single-bit value from a boolean.
+    pub fn from_bool(b: bool) -> Value {
+        Value::from_logic(Logic::from_bool(b))
+    }
+
+    /// The declared width in bits.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The integer value if every bit is known, else `None`.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.x == 0 {
+            Some(self.bits)
+        } else {
+            None
+        }
+    }
+
+    /// The raw known-bit pattern (unknown bits read as zero).
+    pub fn raw_bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The unknown-bit mask.
+    pub fn x_mask(&self) -> u64 {
+        self.x
+    }
+
+    /// True when no bit is `X`.
+    pub fn is_fully_known(&self) -> bool {
+        self.x == 0
+    }
+
+    /// The logic level of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: u8) -> Logic {
+        assert!(i < self.width, "bit index out of range");
+        if self.x >> i & 1 == 1 {
+            Logic::X
+        } else if self.bits >> i & 1 == 1 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// The value as a single logic level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not 1.
+    pub fn as_logic(&self) -> Logic {
+        assert_eq!(self.width, 1, "as_logic requires a 1-bit value");
+        self.bit(0)
+    }
+
+    /// True if this is a 1-bit known `1`.
+    pub fn is_high(&self) -> bool {
+        self.width == 1 && self.x == 0 && self.bits == 1
+    }
+
+    /// True if this is a 1-bit known `0`.
+    pub fn is_low(&self) -> bool {
+        self.width == 1 && self.x == 0 && self.bits == 0
+    }
+
+    /// Extracts bits `[lo, lo+width)` as a new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds this value's width or `width` is 0.
+    pub fn slice(&self, lo: u8, width: u8) -> Value {
+        assert!(width >= 1, "slice width must be at least 1");
+        assert!(
+            lo.checked_add(width).is_some_and(|hi| hi <= self.width),
+            "slice out of range"
+        );
+        let m = Self::mask(width);
+        Value { width, bits: (self.bits >> lo) & m, x: (self.x >> lo) & m }
+    }
+
+    /// Concatenates `hi` above `self` (`self` occupies the low bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 64.
+    pub fn concat(&self, hi: &Value) -> Value {
+        let w = self
+            .width
+            .checked_add(hi.width)
+            .filter(|&w| w <= 64)
+            .expect("concatenated width exceeds 64");
+        Value {
+            width: w,
+            bits: self.bits | (hi.bits << self.width),
+            x: self.x | (hi.x << self.width),
+        }
+    }
+
+    /// Bitwise NOT with X propagation.
+    pub fn not(&self) -> Value {
+        let m = Self::mask(self.width);
+        Value { width: self.width, bits: !self.bits & m & !self.x, x: self.x }
+    }
+
+    fn check_width(&self, other: &Value) {
+        assert_eq!(self.width, other.width, "width mismatch in bitwise op");
+    }
+
+    /// Bitwise AND: a known `0` on either side dominates an `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn and(&self, other: &Value) -> Value {
+        self.check_width(other);
+        let zero_a = !self.bits & !self.x;
+        let zero_b = !other.bits & !other.x;
+        let m = Self::mask(self.width);
+        let x = (self.x | other.x) & !(zero_a | zero_b) & m;
+        Value { width: self.width, bits: self.bits & other.bits & !x, x }
+    }
+
+    /// Bitwise OR: a known `1` on either side dominates an `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn or(&self, other: &Value) -> Value {
+        self.check_width(other);
+        let one_a = self.bits & !self.x;
+        let one_b = other.bits & !other.x;
+        let x = (self.x | other.x) & !(one_a | one_b);
+        Value { width: self.width, bits: (self.bits | other.bits | one_a | one_b) & !x, x }
+    }
+
+    /// Bitwise XOR: any `X` input makes the output bit `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn xor(&self, other: &Value) -> Value {
+        self.check_width(other);
+        let x = self.x | other.x;
+        Value { width: self.width, bits: (self.bits ^ other.bits) & !x, x }
+    }
+
+    /// Two-way multiplexer with X-pessimism: an unknown select yields
+    /// `X` wherever the two data inputs disagree or are unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` widths differ or `sel` is not 1 bit wide.
+    pub fn mux(sel: &Value, a: &Value, b: &Value) -> Value {
+        a.check_width(b);
+        assert_eq!(sel.width(), 1, "mux select must be 1 bit");
+        match sel.as_logic() {
+            Logic::Zero => *a,
+            Logic::One => *b,
+            Logic::X => {
+                let agree = !(a.bits ^ b.bits) & !a.x & !b.x;
+                let m = Self::mask(a.width);
+                Value { width: a.width, bits: a.bits & agree, x: m & !agree }
+            }
+        }
+    }
+
+    /// The number of bit positions whose *known* level differs between
+    /// `self` and `next`, i.e. the toggle count charged by the power
+    /// model for a `self → next` commit. A bit entering or leaving the
+    /// `X` state counts as one toggle (pessimistic but consistent).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn toggles_to(&self, next: &Value) -> u32 {
+        self.check_width(next);
+        let x_change = self.x ^ next.x;
+        let both_known = !self.x & !next.x;
+        (((self.bits ^ next.bits) & both_known) | x_change).count_ones()
+    }
+
+    /// Reduction OR over all bits (`1` if any bit is known `1`, `0` if
+    /// all bits are known `0`, else `X`).
+    pub fn reduce_or(&self) -> Logic {
+        if self.bits & !self.x != 0 {
+            Logic::One
+        } else if self.x != 0 {
+            Logic::X
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Reduction AND over all bits.
+    pub fn reduce_and(&self) -> Logic {
+        let m = Self::mask(self.width);
+        if (self.bits | self.x) & m != m {
+            Logic::Zero
+        } else if self.x != 0 {
+            Logic::X
+        } else {
+            Logic::One
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", self.bit(i))?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Logic> for Value {
+    fn from(l: Logic) -> Value {
+        Value::from_logic(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_masking() {
+        let v = Value::from_u64(4, 0xFF);
+        assert_eq!(v.to_u64(), Some(0xF));
+        assert_eq!(Value::zero(64).width(), 64);
+        assert_eq!(Value::ones(64).to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1..=64")]
+    fn zero_width_rejected() {
+        let _ = Value::zero(0);
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = Value::from_u64(4, 0b1010);
+        assert_eq!(v.bit(0), Logic::Zero);
+        assert_eq!(v.bit(1), Logic::One);
+        assert_eq!(v.bit(3), Logic::One);
+        assert!(Value::all_x(4).bit(2) == Logic::X);
+    }
+
+    #[test]
+    fn not_with_x() {
+        let v = Value::from_u64(2, 0b01);
+        assert_eq!(v.not().to_u64(), Some(0b10));
+        let x = Value::all_x(2);
+        assert_eq!(x.not().x_mask(), 0b11);
+    }
+
+    #[test]
+    fn and_dominant_zero() {
+        let zero = Value::zero(1);
+        let x = Value::all_x(1);
+        assert!(zero.and(&x).is_low());
+        assert_eq!(x.and(&Value::ones(1)).as_logic(), Logic::X);
+    }
+
+    #[test]
+    fn or_dominant_one() {
+        let one = Value::ones(1);
+        let x = Value::all_x(1);
+        assert!(one.or(&x).is_high());
+        assert_eq!(x.or(&Value::zero(1)).as_logic(), Logic::X);
+    }
+
+    #[test]
+    fn xor_propagates_x() {
+        let x = Value::all_x(1);
+        assert_eq!(x.xor(&Value::zero(1)).as_logic(), Logic::X);
+        let a = Value::from_u64(8, 0xA5);
+        let b = Value::from_u64(8, 0x5A);
+        assert_eq!(a.xor(&b).to_u64(), Some(0xFF));
+    }
+
+    #[test]
+    fn mux_known_and_unknown_select() {
+        let a = Value::from_u64(4, 0b1100);
+        let b = Value::from_u64(4, 0b1010);
+        let s0 = Value::zero(1);
+        let s1 = Value::ones(1);
+        let sx = Value::all_x(1);
+        assert_eq!(Value::mux(&s0, &a, &b), a);
+        assert_eq!(Value::mux(&s1, &a, &b), b);
+        let m = Value::mux(&sx, &a, &b);
+        // bits 3 and 1 agree (1 and 1? 1100 vs 1010: bit3 1/1 agree, bit2 1/0
+        // differ, bit1 0/1 differ, bit0 0/0 agree)
+        assert_eq!(m.bit(3), Logic::One);
+        assert_eq!(m.bit(0), Logic::Zero);
+        assert_eq!(m.bit(2), Logic::X);
+        assert_eq!(m.bit(1), Logic::X);
+    }
+
+    #[test]
+    fn toggle_counting() {
+        let a = Value::from_u64(8, 0xA5);
+        let b = Value::from_u64(8, 0x5A);
+        assert_eq!(a.toggles_to(&b), 8);
+        assert_eq!(a.toggles_to(&a), 0);
+        // X transitions count once per bit.
+        assert_eq!(Value::all_x(8).toggles_to(&a), 8);
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip() {
+        let v = Value::from_u64(32, 0xDEAD_BEEF);
+        let lo = v.slice(0, 16);
+        let hi = v.slice(16, 16);
+        assert_eq!(lo.to_u64(), Some(0xBEEF));
+        assert_eq!(hi.to_u64(), Some(0xDEAD));
+        assert_eq!(lo.concat(&hi), v);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Value::from_u64(4, 0b0010).reduce_or(), Logic::One);
+        assert_eq!(Value::zero(4).reduce_or(), Logic::Zero);
+        assert_eq!(Value::all_x(4).reduce_or(), Logic::X);
+        assert_eq!(Value::ones(4).reduce_and(), Logic::One);
+        assert_eq!(Value::from_u64(4, 0b0111).reduce_and(), Logic::Zero);
+    }
+
+    #[test]
+    fn display_binary() {
+        assert_eq!(Value::from_u64(4, 0b1010).to_string(), "1010");
+        assert_eq!(Value::all_x(2).to_string(), "xx");
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn slice_out_of_range_panics() {
+        let _ = Value::from_u64(8, 0).slice(4, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 64")]
+    fn concat_overflow_panics() {
+        let _ = Value::zero(40).concat(&Value::zero(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn and_width_mismatch_panics() {
+        let _ = Value::zero(4).and(&Value::zero(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 bit")]
+    fn mux_wide_select_panics() {
+        let s = Value::zero(2);
+        let _ = Value::mux(&s, &Value::zero(4), &Value::zero(4));
+    }
+
+    #[test]
+    fn logic_conversions() {
+        assert_eq!(Logic::from_bool(true), Logic::One);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert!(Logic::Zero.is_known() && !Logic::X.is_known());
+        assert_eq!(Logic::X.to_string(), "x");
+    }
+
+    #[test]
+    fn is_high_low_only_for_one_bit() {
+        assert!(Value::one(1).is_high());
+        assert!(!Value::from_u64(2, 0b01).is_high());
+        assert!(Value::zero(1).is_low());
+        assert!(!Value::zero(2).is_low());
+        assert!(!Value::all_x(1).is_low());
+    }
+
+    #[test]
+    fn from_logic_round_trip() {
+        for l in [Logic::Zero, Logic::One, Logic::X] {
+            assert_eq!(Value::from_logic(l).as_logic(), l);
+            let v: Value = l.into();
+            assert_eq!(v.as_logic(), l);
+        }
+    }
+}

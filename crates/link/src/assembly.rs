@@ -1,0 +1,369 @@
+//! Full link assemblies: I1, I2 and I3 as evaluated in the paper's
+//! Fig 9, with wire segments, block scopes matching the Fig 14 power
+//! breakdown, and the bookkeeping the measurement layer needs.
+
+use sal_cells::CircuitBuilder;
+use sal_des::{SignalId, Time};
+
+use crate::{
+    build_as_interface, build_deserializer, build_sa_interface, build_serializer,
+    build_sync_pipeline, build_wire_buffer, build_word_deserializer,
+    build_word_deserializer_demux, build_word_deserializer_early, build_word_serializer,
+    LinkConfig, WordRxStyle,
+};
+
+/// Which of the paper's three implementations a handle refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum LinkKind {
+    /// I1 — fully synchronous parallel link.
+    I1Sync,
+    /// I2 — asynchronous serialized, per-transfer acknowledgement.
+    I2PerTransfer,
+    /// I3 — asynchronous serialized, per-word acknowledgement.
+    I3PerWord,
+}
+
+impl LinkKind {
+    /// The paper's label (I1/I2/I3).
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::I1Sync => "I1",
+            LinkKind::I2PerTransfer => "I2",
+            LinkKind::I3PerWord => "I3",
+        }
+    }
+
+    /// Number of switch-to-switch wires this link needs.
+    pub fn wires(self, cfg: &LinkConfig) -> u32 {
+        match self {
+            LinkKind::I1Sync => cfg.wires_sync(),
+            _ => cfg.wires_async(),
+        }
+    }
+}
+
+/// Everything the testbench and the measurement layer need to drive a
+/// built link.
+#[derive(Debug, Clone)]
+pub struct LinkHandles {
+    /// Which implementation was built.
+    pub kind: LinkKind,
+    /// The switch clock (shared by both ends, as in the paper).
+    pub clk: SignalId,
+    /// Global active-low reset (testbench-driven).
+    pub rstn: SignalId,
+    /// Flit input from the sending switch.
+    pub flit_in: SignalId,
+    /// Valid input from the sending switch.
+    pub valid_in: SignalId,
+    /// Backpressure to the sending switch.
+    pub stall_out: SignalId,
+    /// Flit output to the receiving switch.
+    pub flit_out: SignalId,
+    /// Valid output to the receiving switch.
+    pub valid_out: SignalId,
+    /// Backpressure from the receiving switch (testbench-driven).
+    pub stall_in: SignalId,
+    /// Root scope of the link instance (energy/area queries).
+    pub scope: String,
+    /// Free-running clock sinks per block scope, for the analytical
+    /// clock power term: `(scope path, flip-flop bits)`.
+    pub clock_sinks: Vec<(String, u32)>,
+    /// Estimated clock distribution length, µm.
+    pub clock_tree_um: f64,
+}
+
+fn seg_params(b: &CircuitBuilder<'_>, cfg: &LinkConfig) -> (Time, f64) {
+    let lib = b.library();
+    let seg = cfg.segment_um();
+    let vdd = lib.vdd();
+    let energy = 0.5 * lib.wire_cap_ff_per_um() * seg * vdd * vdd;
+    // First-order distributed RC for one segment.
+    let r = 0.075 * seg;
+    let c = lib.wire_cap_ff_per_um() * seg * 1e-15;
+    let delay = Time::from_ps_f64((0.38 * r * c * 1e12).max(0.001));
+    (delay, energy)
+}
+
+/// Builds the synchronous reference link I1 in scope `name`.
+///
+/// The sending switch drives `flit_in`/`valid_in`; `cfg.buffers`
+/// elastic clocked buffers carry them across `cfg.length_um` of wire
+/// with full VALID/STALL flow control.
+pub fn build_i1(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> LinkHandles {
+    cfg.validate();
+    let clk = b.clock(&format!("{name}_clk"), cfg.clk_period);
+    let rstn = b.input(&format!("{name}_rstn"), 1);
+    b.push_scope(name);
+    let flit_in = b.input("flit_in", cfg.flit_width);
+    let valid_in = b.input("valid_in", 1);
+    let ports = build_sync_pipeline(b, "buffers", cfg, clk, rstn, flit_in, valid_in);
+    b.pop_scope();
+    LinkHandles {
+        kind: LinkKind::I1Sync,
+        clk,
+        rstn,
+        flit_in,
+        valid_in,
+        stall_out: ports.stall_out,
+        flit_out: ports.flit_out,
+        valid_out: ports.valid_out,
+        stall_in: ports.stall_in,
+        scope: name.to_string(),
+        clock_sinks: vec![(format!("{name}.buffers"), ports.clocked_bits)],
+        clock_tree_um: cfg.length_um,
+    }
+}
+
+/// Builds the proposed asynchronous serialized link with per-transfer
+/// acknowledgement (I2) in scope `name`: sync→async interface,
+/// serializer, `cfg.buffers` four-phase wire buffers with wire
+/// segments between them, deserializer, async→sync interface.
+pub fn build_i2(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> LinkHandles {
+    cfg.validate();
+    let (seg_delay, seg_energy_per_um_bit) = seg_params(b, cfg);
+    let clk = b.clock(&format!("{name}_clk"), cfg.clk_period);
+    let rstn = b.input(&format!("{name}_rstn"), 1);
+    b.push_scope(name);
+
+    let flit_in = b.input("flit_in", cfg.flit_width);
+    let valid_in = b.input("valid_in", 1);
+    let stall_in = b.input("stall_in", 1);
+
+    // Word-level acknowledge wires (pre-declared feedback).
+    let ack_word_tx = b.input("ack_word_tx", 1);
+    let ack_word_rx = b.input("ack_word_rx", 1);
+
+    let tx = build_sa_interface(b, "tx_if", cfg, clk, rstn, flit_in, valid_in, ack_word_tx);
+
+    // Slice-level acknowledge each stage listens to: acks_in[k] is
+    // heard by stage k-1 (acks_in[0] by the serializer).
+    let nstations = cfg.buffers as usize;
+    let acks_in: Vec<SignalId> =
+        (0..=nstations).map(|k| b.input(&format!("ack_in{k}"), 1)).collect();
+
+    let ser = build_serializer(b, "ser", cfg, tx.dout, tx.reqout, acks_in[0], rstn);
+    b.buf_into("ack_word_tx_drv", ack_word_tx, ser.ackout);
+
+    // Wire with buffers: segment → buffer → segment → … → segment.
+    b.push_scope("wire");
+    let mut d = b.transport("seg_d0", ser.dout, seg_delay, seg_energy_per_um_bit);
+    let mut r = b.transport("seg_r0", ser.reqout, seg_delay, seg_energy_per_um_bit);
+    for k in 0..nstations {
+        let ports = build_wire_buffer(b, &format!("buf{k}"), d, r, acks_in[k + 1], rstn);
+        // The acknowledge travels back over segment k.
+        b.transport_into(
+            &format!("seg_a{k}"),
+            acks_in[k],
+            ports.ack_to_prev,
+            seg_delay,
+            seg_energy_per_um_bit,
+        );
+        d = b.transport(&format!("seg_d{}", k + 1), ports.dout, seg_delay, seg_energy_per_um_bit);
+        r = b.transport(&format!("seg_r{}", k + 1), ports.reqout, seg_delay, seg_energy_per_um_bit);
+    }
+    b.pop_scope();
+
+    let des = build_deserializer(b, "des", cfg, d, r, ack_word_rx, rstn);
+    b.transport_into(
+        &format!("seg_a{nstations}"),
+        acks_in[nstations],
+        des.ackout,
+        seg_delay,
+        seg_energy_per_um_bit,
+    );
+
+    let rx = build_as_interface(b, "rx_if", cfg, clk, rstn, des.dout, des.reqout, stall_in);
+    b.buf_into("ack_word_rx_drv", ack_word_rx, rx.ackout);
+
+    b.pop_scope();
+    LinkHandles {
+        kind: LinkKind::I2PerTransfer,
+        clk,
+        rstn,
+        flit_in,
+        valid_in,
+        stall_out: tx.stall,
+        flit_out: rx.flit_out,
+        valid_out: rx.valid_out,
+        stall_in,
+        scope: name.to_string(),
+        clock_sinks: vec![
+            (format!("{name}.tx_if"), tx.clocked_bits),
+            (format!("{name}.rx_if"), rx.clocked_bits),
+        ],
+        // The interfaces sit at the switches; only a short local clock
+        // stub is needed (no clocked elements along the wire).
+        clock_tree_um: 200.0,
+    }
+}
+
+/// Builds the proposed asynchronous serialized link with per-word
+/// acknowledgement (I3) in scope `name`: the wire "buffers" are plain
+/// inverter pairs on the data/valid wires, and a single acknowledge
+/// wire (also repeated) returns once per word.
+pub fn build_i3(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> LinkHandles {
+    cfg.validate();
+    let (seg_delay, seg_energy) = seg_params(b, cfg);
+    let clk = b.clock(&format!("{name}_clk"), cfg.clk_period);
+    let rstn = b.input(&format!("{name}_rstn"), 1);
+    b.push_scope(name);
+
+    let flit_in = b.input("flit_in", cfg.flit_width);
+    let valid_in = b.input("valid_in", 1);
+    let stall_in = b.input("stall_in", 1);
+
+    let ack_word_tx = b.input("ack_word_tx", 1);
+    let ack_word_rx = b.input("ack_word_rx", 1);
+    // The per-word acknowledge as heard by the transmitter.
+    let ack_back_heard = b.input("ack_back_heard", 1);
+
+    let tx = build_sa_interface(b, "tx_if", cfg, clk, rstn, flit_in, valid_in, ack_word_tx);
+    let ser = build_word_serializer(b, "ser", cfg, tx.dout, tx.reqout, ack_back_heard, rstn);
+    b.buf_into("ack_word_tx_drv", ack_word_tx, ser.ackout);
+
+    // Forward wire: data + valid through inverter-pair stations.
+    b.push_scope("wire");
+    let nstations = cfg.buffers as usize;
+    let mut d = b.transport("seg_d0", ser.dout, seg_delay, seg_energy);
+    let mut v = b.transport("seg_v0", ser.valid, seg_delay, seg_energy);
+    for k in 0..nstations {
+        let d1 = b.inv(&format!("rep_d{k}a"), d);
+        let d2 = b.inv(&format!("rep_d{k}b"), d1);
+        let v1 = b.inv(&format!("rep_v{k}a"), v);
+        let v2 = b.inv(&format!("rep_v{k}b"), v1);
+        d = b.transport(&format!("seg_d{}", k + 1), d2, seg_delay, seg_energy);
+        v = b.transport(&format!("seg_v{}", k + 1), v2, seg_delay, seg_energy);
+    }
+    b.pop_scope();
+
+    let des = match (cfg.early_word_ack, cfg.word_rx_style) {
+        (true, _) => build_word_deserializer_early(b, "des", cfg, d, v, ack_word_rx, rstn),
+        (false, WordRxStyle::ShiftRegister) => {
+            build_word_deserializer(b, "des", cfg, d, v, ack_word_rx, rstn)
+        }
+        (false, WordRxStyle::Demux) => {
+            build_word_deserializer_demux(b, "des", cfg, d, v, ack_word_rx, rstn)
+        }
+    };
+
+    // Backward acknowledge wire through the same stations.
+    b.push_scope("wire");
+    let mut ab = b.transport("seg_ab0", des.ack_back, seg_delay, seg_energy);
+    for k in 0..nstations {
+        let a1 = b.inv(&format!("rep_ab{k}a"), ab);
+        let a2 = b.inv(&format!("rep_ab{k}b"), a1);
+        ab = if k + 1 < nstations {
+            b.transport(&format!("seg_ab{}", k + 1), a2, seg_delay, seg_energy)
+        } else {
+            a2
+        };
+    }
+    b.transport_into("seg_ab_last", ack_back_heard, ab, seg_delay, seg_energy);
+    b.pop_scope();
+
+    let rx = build_as_interface(b, "rx_if", cfg, clk, rstn, des.dout, des.reqout, stall_in);
+    b.buf_into("ack_word_rx_drv", ack_word_rx, rx.ackout);
+
+    b.pop_scope();
+    LinkHandles {
+        kind: LinkKind::I3PerWord,
+        clk,
+        rstn,
+        flit_in,
+        valid_in,
+        stall_out: tx.stall,
+        flit_out: rx.flit_out,
+        valid_out: rx.valid_out,
+        stall_in,
+        scope: name.to_string(),
+        clock_sinks: vec![
+            (format!("{name}.tx_if"), tx.clocked_bits),
+            (format!("{name}.rx_if"), rx.clocked_bits),
+        ],
+        clock_tree_um: 200.0,
+    }
+}
+
+/// Builds a link of the given kind (dispatch helper for sweeps).
+pub fn build_link(
+    b: &mut CircuitBuilder<'_>,
+    kind: LinkKind,
+    name: &str,
+    cfg: &LinkConfig,
+) -> LinkHandles {
+    match kind {
+        LinkKind::I1Sync => build_i1(b, name, cfg),
+        LinkKind::I2PerTransfer => build_i2(b, name, cfg),
+        LinkKind::I3PerWord => build_i3(b, name, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{run_flits, MeasureOptions};
+    use crate::testbench::worst_case_pattern;
+
+    #[test]
+    fn i1_transfers_worst_case_pattern() {
+        let cfg = LinkConfig::default();
+        let r = run_flits(LinkKind::I1Sync, &cfg, &worst_case_pattern(4, 32), &MeasureOptions::default());
+        assert_eq!(r.received_words(), worst_case_pattern(4, 32));
+    }
+
+    #[test]
+    fn i2_transfers_worst_case_pattern() {
+        let cfg = LinkConfig::default();
+        let r = run_flits(
+            LinkKind::I2PerTransfer,
+            &cfg,
+            &worst_case_pattern(4, 32),
+            &MeasureOptions::default(),
+        );
+        assert_eq!(r.received_words(), worst_case_pattern(4, 32));
+    }
+
+    #[test]
+    fn i3_transfers_worst_case_pattern() {
+        let cfg = LinkConfig::default();
+        let r = run_flits(
+            LinkKind::I3PerWord,
+            &cfg,
+            &worst_case_pattern(4, 32),
+            &MeasureOptions::default(),
+        );
+        assert_eq!(r.received_words(), worst_case_pattern(4, 32));
+    }
+
+    #[test]
+    fn all_links_all_buffer_counts() {
+        for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+            for buffers in [2u32, 4, 6, 8] {
+                let cfg = LinkConfig { buffers, ..LinkConfig::default() };
+                let words = worst_case_pattern(4, 32);
+                let r = run_flits(kind, &cfg, &words, &MeasureOptions::default());
+                assert_eq!(
+                    r.received_words(),
+                    words,
+                    "{} with {buffers} buffers corrupted data",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn async_links_survive_300mhz_switch_clock() {
+        let cfg = LinkConfig {
+            clk_period: sal_des::Time::from_ns_f64(10.0 / 3.0),
+            ..LinkConfig::default()
+        };
+        for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+            let words: Vec<u64> = (0..12).map(|i| (i * 0x2468_ACE1) & 0xFFFF_FFFF).collect();
+            let r = run_flits(kind, &cfg, &words, &MeasureOptions::default());
+            assert_eq!(r.received_words(), words, "{}", kind.label());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Link configuration.
+
+use sal_des::Time;
+
+/// Parameters shared by all three link implementations.
+///
+/// The defaults are the paper's experimental setup: 32-bit flits
+/// serialized to 8 bits, 4 buffers along the wires, a 4-deep FIFO in
+/// each clock-domain interface, and a 1 000 µm switch-to-switch wire.
+///
+/// # Examples
+///
+/// ```
+/// use sal_link::LinkConfig;
+/// let cfg = LinkConfig::default();
+/// assert_eq!(cfg.slices(), 4);
+/// assert_eq!(cfg.wires_sync(), 33);   // 32 data + valid
+/// assert_eq!(cfg.wires_async(), 10);  // 8 data + req + ack
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinkConfig {
+    /// Flit (parallel word) width `m` in bits; 1..=64.
+    pub flit_width: u8,
+    /// Serial slice width `n` in bits; must divide `flit_width`.
+    pub slice_width: u8,
+    /// Number of buffer stations along the wires (pipeline registers
+    /// for I1, latch-controller buffers for I2, inverter pairs for I3).
+    pub buffers: u32,
+    /// Total switch-to-switch wire length, µm.
+    pub length_um: f64,
+    /// Switch clock period (both ends share one slow clock).
+    pub clk_period: Time,
+    /// FIFO depth of each sync↔async interface (paper: 4, giving 8
+    /// spaces along the whole link).
+    pub fifo_depth: u8,
+    /// Ring-oscillator stage count for the word-level serializer
+    /// (odd, ≥3). Sets the burst slice spacing; the default yields the
+    /// paper's Tburst ≈ 1.1 ns for a 4-slice burst.
+    pub osc_stages: usize,
+    /// Early word acknowledgement for I3 — the paper's stated future
+    /// work ("further improvements … could be achieved by earlier
+    /// acknowledging"): the receiver double-buffers the rebuilt word
+    /// and acknowledges at last-slice arrival, overlapping the
+    /// interface handoff with the next burst.
+    pub early_word_ack: bool,
+    /// Receiver datapath style for the word-level link (the comparison
+    /// behind the paper's Fig 14 discussion of shift-register vs
+    /// de-multiplexer deserializers).
+    pub word_rx_style: WordRxStyle,
+}
+
+/// Word-level (I3) receiver datapath style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum WordRxStyle {
+    /// The paper's Fig 8b shift register: every stage latches on every
+    /// strobe (more switching, simpler control).
+    ShiftRegister,
+    /// A one-hot de-multiplexer (like Fig 6b, strobe-clocked): only
+    /// one slice register latches per strobe.
+    Demux,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            flit_width: 32,
+            slice_width: 8,
+            buffers: 4,
+            length_um: 1000.0,
+            clk_period: Time::from_ns(10),
+            fifo_depth: 4,
+            osc_stages: 13,
+            early_word_ack: false,
+            word_rx_style: WordRxStyle::ShiftRegister,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths are inconsistent (slice not dividing flit,
+    /// widths zero or above 64), the FIFO depth is < 2, or the
+    /// oscillator stage count is even or < 3.
+    pub fn validate(&self) {
+        assert!(
+            self.flit_width >= 1 && self.flit_width <= 64,
+            "flit width must be 1..=64"
+        );
+        assert!(
+            self.slice_width >= 1 && self.slice_width <= self.flit_width,
+            "slice width must be 1..=flit width"
+        );
+        assert!(
+            self.flit_width % self.slice_width == 0,
+            "slice width must divide flit width"
+        );
+        assert!(self.flit_width / self.slice_width >= 2, "need at least 2 slices");
+        assert!(self.fifo_depth >= 2, "interface FIFO depth must be at least 2");
+        assert!(
+            self.osc_stages % 2 == 1 && self.osc_stages >= 3,
+            "ring oscillator needs an odd stage count >= 3"
+        );
+        assert!(self.length_um >= 0.0, "negative wire length");
+    }
+
+    /// Number of slices per flit (`m / n`).
+    pub fn slices(&self) -> usize {
+        (self.flit_width / self.slice_width) as usize
+    }
+
+    /// Wires between switches for the synchronous link I1:
+    /// data + valid.
+    pub fn wires_sync(&self) -> u32 {
+        self.flit_width as u32 + 1
+    }
+
+    /// Wires between switches for the serialized asynchronous links
+    /// I2/I3: slice data + request/valid forward + acknowledge back.
+    pub fn wires_async(&self) -> u32 {
+        self.slice_width as u32 + 2
+    }
+
+    /// Length of one wire segment between adjacent buffer stations
+    /// (the wire is divided into `buffers + 1` equal segments), µm.
+    pub fn segment_um(&self) -> f64 {
+        self.length_um / (self.buffers as f64 + 1.0)
+    }
+
+    /// The switch clock frequency in Hz.
+    pub fn clk_hz(&self) -> f64 {
+        self.clk_period.period_to_hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_setup() {
+        let c = LinkConfig::default();
+        c.validate();
+        assert_eq!(c.flit_width, 32);
+        assert_eq!(c.slice_width, 8);
+        assert_eq!(c.slices(), 4);
+        assert_eq!(c.buffers, 4);
+        assert_eq!(c.fifo_depth, 4);
+    }
+
+    #[test]
+    fn wire_counts() {
+        let c = LinkConfig::default();
+        assert_eq!(c.wires_sync(), 33);
+        assert_eq!(c.wires_async(), 10);
+        let c16 = LinkConfig { flit_width: 16, slice_width: 4, ..c };
+        assert_eq!(c16.wires_sync(), 17);
+        assert_eq!(c16.wires_async(), 6);
+    }
+
+    #[test]
+    fn segments() {
+        let c = LinkConfig { buffers: 4, length_um: 1000.0, ..Default::default() };
+        assert!((c.segment_um() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_slice_width_rejected() {
+        LinkConfig { slice_width: 5, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "2 slices")]
+    fn unserialized_config_rejected() {
+        LinkConfig { slice_width: 32, ..Default::default() }.validate();
+    }
+}

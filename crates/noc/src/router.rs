@@ -1,0 +1,199 @@
+//! The 5-port input-buffered wormhole switch.
+
+use std::collections::VecDeque;
+
+use crate::{Direction, Flit, Mesh, NodeId};
+
+/// One router of the mesh: five input FIFOs (N/S/E/W/Local), XY route
+/// computation at each head flit, round-robin output arbitration, and
+/// wormhole locking (an output granted to a packet stays granted until
+/// its tail passes).
+#[derive(Debug)]
+pub struct Router {
+    node: NodeId,
+    inputs: [VecDeque<Flit>; 5],
+    capacity: usize,
+    /// Which input currently owns each output (wormhole lock).
+    output_owner: [Option<usize>; 5],
+    /// Round-robin arbitration pointer per output.
+    rr: [usize; 5],
+}
+
+impl Router {
+    /// Creates a router with the given per-input FIFO capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(node: NodeId, capacity: usize) -> Self {
+        assert!(capacity >= 1, "input queue needs capacity");
+        Router {
+            node,
+            inputs: Default::default(),
+            capacity,
+            output_owner: [None; 5],
+            rr: [0; 5],
+        }
+    }
+
+    /// The node this router serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Free slots in the input FIFO of `port`.
+    pub fn free_slots(&self, port: Direction) -> usize {
+        self.capacity - self.inputs[port.index()].len()
+    }
+
+    /// Total buffered flits across all inputs.
+    pub fn occupancy(&self) -> usize {
+        self.inputs.iter().map(|q| q.len()).sum()
+    }
+
+    /// Enqueues an arriving flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input FIFO is full (callers must check
+    /// [`Router::free_slots`] — the channel models backpressure).
+    pub fn accept(&mut self, port: Direction, flit: Flit) {
+        let q = &mut self.inputs[port.index()];
+        assert!(q.len() < self.capacity, "input overrun at {} {:?}", self.node, port);
+        q.push_back(flit);
+    }
+
+    /// Arbitration + switch traversal for one cycle: returns up to one
+    /// flit per output port as `(output, flit)`. `can_send(output)`
+    /// tells the router whether the downstream channel can accept a
+    /// flit this cycle (`Local` ejection is always possible).
+    pub fn step<F>(&mut self, mesh: &Mesh, mut can_send: F) -> Vec<(Direction, Flit)>
+    where
+        F: FnMut(Direction) -> bool,
+    {
+        let mut moves = Vec::new();
+        for out in Direction::ALL {
+            let oi = out.index();
+            // Grant the output if free: round-robin over inputs whose
+            // head flit routes to this output.
+            if self.output_owner[oi].is_none() {
+                for k in 0..5 {
+                    let ii = (self.rr[oi] + k) % 5;
+                    if ii == oi && out != Direction::Local {
+                        continue; // no U-turns
+                    }
+                    if let Some(head) = self.inputs[ii].front() {
+                        if head.is_head() && mesh.route_xy(self.node, head.dst) == out {
+                            self.output_owner[oi] = Some(ii);
+                            self.rr[oi] = (ii + 1) % 5;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Traverse: forward one flit from the owning input.
+            if let Some(ii) = self.output_owner[oi] {
+                if !can_send(out) {
+                    continue;
+                }
+                // The owning input's front flit may not have arrived yet.
+                let Some(front) = self.inputs[ii].front() else { continue };
+                // Only forward flits of the owning packet: the head
+                // established the claim; body/tail follow in FIFO order.
+                let flit = *front;
+                if flit.is_head() && mesh.route_xy(self.node, flit.dst) != out {
+                    // A different packet's head reached the front; the
+                    // lock is stale only after a tail, so this cannot
+                    // happen — defensive skip.
+                    continue;
+                }
+                self.inputs[ii].pop_front();
+                if flit.is_tail() {
+                    self.output_owner[oi] = None;
+                }
+                moves.push((out, flit));
+            }
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlitKind, Packet, PacketId};
+
+    fn flits_of(id: u64, dst: NodeId, len: u32) -> Vec<Flit> {
+        Packet { id: PacketId(id), src: NodeId(0), dst, len_flits: len, inject_cycle: 0 }.flits()
+    }
+
+    #[test]
+    fn routes_local_injection_east() {
+        let mesh = Mesh::new(3, 1);
+        let mut r = Router::new(mesh.node(0, 0), 4);
+        for f in flits_of(1, mesh.node(2, 0), 3) {
+            r.accept(Direction::Local, f);
+        }
+        let mut all = Vec::new();
+        for _ in 0..3 {
+            all.extend(r.step(&mesh, |_| true));
+        }
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|(d, _)| *d == Direction::East));
+        assert_eq!(all.last().unwrap().1.kind, FlitKind::Tail);
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn wormhole_lock_excludes_interleaving() {
+        // Two packets from different inputs both want East; flits must
+        // not interleave.
+        let mesh = Mesh::new(3, 3);
+        let mid = mesh.node(1, 1);
+        let mut r = Router::new(mid, 8);
+        let dst = mesh.node(2, 1);
+        for f in flits_of(1, dst, 3) {
+            r.accept(Direction::West, f);
+        }
+        for f in flits_of(2, dst, 3) {
+            r.accept(Direction::Local, f);
+        }
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            for (d, f) in r.step(&mesh, |_| true) {
+                assert_eq!(d, Direction::East);
+                order.push(f.packet.0);
+            }
+        }
+        assert_eq!(order.len(), 6);
+        // All of one packet, then all of the other.
+        assert!(order == [1, 1, 1, 2, 2, 2] || order == [2, 2, 2, 1, 1, 1], "{order:?}");
+    }
+
+    #[test]
+    fn backpressure_holds_flits() {
+        let mesh = Mesh::new(2, 1);
+        let mut r = Router::new(mesh.node(0, 0), 4);
+        for f in flits_of(1, mesh.node(1, 0), 2) {
+            r.accept(Direction::Local, f);
+        }
+        let moves = r.step(&mesh, |_| false); // channel refuses
+        assert!(moves.is_empty());
+        assert_eq!(r.occupancy(), 2);
+        let moves = r.step(&mesh, |_| true);
+        assert_eq!(moves.len(), 1);
+    }
+
+    #[test]
+    fn ejects_at_destination() {
+        let mesh = Mesh::new(2, 2);
+        let n = mesh.node(1, 1);
+        let mut r = Router::new(n, 4);
+        for f in flits_of(9, n, 1) {
+            r.accept(Direction::North, f);
+        }
+        let moves = r.step(&mesh, |_| true);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].0, Direction::Local);
+    }
+}

@@ -1,0 +1,92 @@
+//! Network measurement results.
+
+/// Aggregate statistics over the measurement phase of a network run.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct NetworkStats {
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Nodes in the network.
+    pub nodes: usize,
+    /// Packets created at the cores during measurement.
+    pub offered_packets: u64,
+    /// Packets whose tail was ejected during measurement.
+    pub delivered_packets: u64,
+    /// Flits ejected during measurement.
+    pub delivered_flits: u64,
+    /// Sum of packet latencies (inject → tail eject), cycles.
+    pub latency_sum: u64,
+    /// Worst packet latency observed, cycles.
+    pub latency_max: u64,
+    /// Per-packet latencies (for percentiles).
+    pub latencies: Vec<u64>,
+    /// Packets still in flight at the end (non-zero near saturation).
+    pub in_flight: u64,
+}
+
+impl NetworkStats {
+    /// Mean packet latency in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            return f64::NAN;
+        }
+        self.latency_sum as f64 / self.delivered_packets as f64
+    }
+
+    /// The `p`-quantile latency (e.g. 0.95), cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn latency_quantile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * p).round() as usize;
+        v[idx]
+    }
+
+    /// Accepted throughput in flits per node per cycle.
+    pub fn throughput_fpnc(&self) -> f64 {
+        if self.cycles == 0 || self.nodes == 0 {
+            return 0.0;
+        }
+        self.delivered_flits as f64 / self.cycles as f64 / self.nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = NetworkStats {
+            cycles: 1000,
+            nodes: 16,
+            offered_packets: 100,
+            delivered_packets: 100,
+            delivered_flits: 400,
+            latency_sum: 2000,
+            latency_max: 90,
+            latencies: (1..=100).collect(),
+            in_flight: 0,
+        };
+        assert!((s.avg_latency() - 20.0).abs() < 1e-9);
+        assert!((s.throughput_fpnc() - 0.025).abs() < 1e-9);
+        assert_eq!(s.latency_quantile(1.0), 100);
+        assert_eq!(s.latency_quantile(0.0), 1);
+        let med = s.latency_quantile(0.5);
+        assert!((50..=51).contains(&med));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = NetworkStats::default();
+        assert!(s.avg_latency().is_nan());
+        assert_eq!(s.throughput_fpnc(), 0.0);
+        assert_eq!(s.latency_quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Gate-level fixed-priority arbiter.
+
+use sal_cells::CircuitBuilder;
+use sal_des::SignalId;
+
+/// Builds an N-way fixed-priority arbiter: `grant[i]` is high when
+/// `req[i]` is high and no lower-indexed request is. Exactly one grant
+/// is ever high. (Round-robin fairness lives in the behavioural
+/// `sal-noc` router; at gate level fixed priority keeps the logic a
+/// two-level AND/NOR structure, and the fabric tests document the
+/// resulting starvation-freedom assumptions.)
+pub fn fixed_priority(
+    b: &mut CircuitBuilder<'_>,
+    name: &str,
+    reqs: &[SignalId],
+) -> Vec<SignalId> {
+    assert!(!reqs.is_empty(), "arbiter needs requests");
+    let mut grants = Vec::with_capacity(reqs.len());
+    // blocked_i = OR of all lower-indexed requests, built as a chain.
+    let mut any_lower: Option<SignalId> = None;
+    for (i, &r) in reqs.iter().enumerate() {
+        let g = match any_lower {
+            None => b.buf(&format!("{name}_g{i}"), r),
+            Some(lower) => {
+                let nl = b.inv(&format!("{name}_nl{i}"), lower);
+                b.and2(&format!("{name}_g{i}"), r, nl)
+            }
+        };
+        grants.push(g);
+        any_lower = Some(match any_lower {
+            None => r,
+            Some(lower) => b.or2(&format!("{name}_l{i}"), lower, r),
+        });
+    }
+    grants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sal_des::{Simulator, Time, Value};
+    use sal_tech::St012Library;
+
+    fn run_arb(reqs: u8) -> Vec<bool> {
+        let mut sim = Simulator::new();
+        let lib = St012Library::default();
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let rs: Vec<SignalId> = (0..5).map(|i| b.input(&format!("r{i}"), 1)).collect();
+        let gs = fixed_priority(&mut b, "arb", &rs);
+        b.finish();
+        for (i, &r) in rs.iter().enumerate() {
+            sim.stimulus(r, &[(Time::ZERO, Value::from_bool(reqs >> i & 1 == 1))]);
+        }
+        sim.run_to_quiescence().unwrap();
+        gs.iter().map(|&g| sim.value(g).is_high()).collect()
+    }
+
+    #[test]
+    fn exhaustive_five_way() {
+        for reqs in 0u8..32 {
+            let grants = run_arb(reqs);
+            let expected_winner = (0..5).find(|&i| reqs >> i & 1 == 1);
+            for (i, &g) in grants.iter().enumerate() {
+                assert_eq!(
+                    g,
+                    Some(i) == expected_winner,
+                    "reqs {reqs:05b}, grant {i}"
+                );
+            }
+            assert!(grants.iter().filter(|&&g| g).count() <= 1, "one-hot violated");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Gate-level unsigned comparators.
+
+use sal_cells::CircuitBuilder;
+use sal_des::SignalId;
+
+/// Builds `a == b` for two equal-width buses (≤ 8 bits) as XNOR per
+/// bit reduced through an AND tree. Returns the 1-bit result.
+pub fn equal(b: &mut CircuitBuilder<'_>, name: &str, a: SignalId, bb: SignalId) -> SignalId {
+    let w = b.sim().signal_info(a).width;
+    assert_eq!(w, b.sim().signal_info(bb).width, "comparator width mismatch");
+    assert!(w <= 8, "comparator sized for coordinate fields");
+    let bits: Vec<SignalId> = (0..w)
+        .map(|i| {
+            let ai = b.slice(&format!("{name}_a{i}"), a, i, 1);
+            let bi = b.slice(&format!("{name}_b{i}"), bb, i, 1);
+            b.xnor2(&format!("{name}_eq{i}"), ai, bi)
+        })
+        .collect();
+    and_tree(b, name, &bits)
+}
+
+/// Builds `a > b` (unsigned) for two equal-width buses (≤ 8 bits) with
+/// the classic ripple expansion: `gt = Σ_i (a_i ∧ ¬b_i ∧ eq_{above i})`.
+/// Returns the 1-bit result.
+pub fn greater(b: &mut CircuitBuilder<'_>, name: &str, a: SignalId, bb: SignalId) -> SignalId {
+    let w = b.sim().signal_info(a).width;
+    assert_eq!(w, b.sim().signal_info(bb).width, "comparator width mismatch");
+    assert!(w <= 8, "comparator sized for coordinate fields");
+    let mut terms = Vec::new();
+    // eq_above accumulates equality of all bits above position i.
+    let mut eq_above: Option<SignalId> = None;
+    for i in (0..w).rev() {
+        let ai = b.slice(&format!("{name}_ga{i}"), a, i, 1);
+        let bi = b.slice(&format!("{name}_gb{i}"), bb, i, 1);
+        let nbi = b.inv(&format!("{name}_nb{i}"), bi);
+        let gt_here = b.and2(&format!("{name}_gt{i}"), ai, nbi);
+        let term = match eq_above {
+            None => gt_here,
+            Some(eq) => b.and2(&format!("{name}_t{i}"), gt_here, eq),
+        };
+        terms.push(term);
+        if i > 0 {
+            let eq_here = b.xnor2(&format!("{name}_e{i}"), ai, bi);
+            eq_above = Some(match eq_above {
+                None => eq_here,
+                Some(eq) => b.and2(&format!("{name}_ea{i}"), eq, eq_here),
+            });
+        }
+    }
+    or_tree(b, &format!("{name}_or"), &terms)
+}
+
+fn and_tree(b: &mut CircuitBuilder<'_>, name: &str, sigs: &[SignalId]) -> SignalId {
+    assert!(!sigs.is_empty());
+    let mut terms = sigs.to_vec();
+    let mut level = 0;
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for (j, chunk) in terms.chunks(3).enumerate() {
+            let nm = format!("{name}_and{level}_{j}");
+            let out = match *chunk {
+                [x] => x,
+                [x, y] => b.and2(&nm, x, y),
+                [x, y, z] => b.and3(&nm, x, y, z),
+                _ => unreachable!(),
+            };
+            next.push(out);
+        }
+        terms = next;
+        level += 1;
+    }
+    terms[0]
+}
+
+/// OR-tree over 1-bit signals (public: the switch arbiters use it).
+pub fn or_tree(b: &mut CircuitBuilder<'_>, name: &str, sigs: &[SignalId]) -> SignalId {
+    assert!(!sigs.is_empty());
+    let mut terms = sigs.to_vec();
+    let mut level = 0;
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for (j, chunk) in terms.chunks(4).enumerate() {
+            let nm = format!("{name}_or{level}_{j}");
+            let out = match *chunk {
+                [x] => x,
+                [x, y] => b.or2(&nm, x, y),
+                [x, y, z] => b.or3(&nm, x, y, z),
+                [x, y, z, u] => b.or4(&nm, x, y, z, u),
+                _ => unreachable!(),
+            };
+            next.push(out);
+        }
+        terms = next;
+        level += 1;
+    }
+    terms[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sal_des::{Simulator, Time, Value};
+    use sal_tech::St012Library;
+
+    fn run_cmp(av: u64, bv: u64) -> (bool, bool) {
+        let mut sim = Simulator::new();
+        let lib = St012Library::default();
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let a = b.input("a", 4);
+        let bb = b.input("b", 4);
+        let eq = equal(&mut b, "eq", a, bb);
+        let gt = greater(&mut b, "gt", a, bb);
+        b.finish();
+        sim.stimulus(a, &[(Time::ZERO, Value::from_u64(4, av))]);
+        sim.stimulus(bb, &[(Time::ZERO, Value::from_u64(4, bv))]);
+        sim.run_to_quiescence().unwrap();
+        (sim.value(eq).is_high(), sim.value(gt).is_high())
+    }
+
+    #[test]
+    fn comparator_truth_table_exhaustive() {
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let (eq, gt) = run_cmp(a, b);
+                assert_eq!(eq, a == b, "{a} == {b}");
+                assert_eq!(gt, a > b, "{a} > {b}");
+            }
+        }
+    }
+}

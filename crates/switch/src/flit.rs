@@ -1,0 +1,61 @@
+//! The gate-level flit format: destination-routed single-flit packets.
+//!
+//! `[ dest_x (4) | dest_y (4) | payload (m-8) ]`, with `dest_x` in the
+//! most significant nibble. Four bits per coordinate bound fabrics to
+//! 16×16 — far beyond anything simulated here.
+
+/// Bits per coordinate field.
+pub const COORD_BITS: u8 = 4;
+
+/// Packs a destination and payload into an `m`-bit flit.
+///
+/// # Panics
+///
+/// Panics if `m < 9`, a coordinate exceeds 15, or the payload does not
+/// fit in `m - 8` bits.
+pub fn pack(m: u8, dest_x: u8, dest_y: u8, payload: u64) -> u64 {
+    assert!(m >= 9, "flit too narrow for a routed header");
+    assert!(dest_x < 16 && dest_y < 16, "coordinates are 4-bit");
+    let pl_bits = m - 2 * COORD_BITS;
+    assert!(
+        payload < (1u64 << pl_bits),
+        "payload does not fit in {pl_bits} bits"
+    );
+    (u64::from(dest_x) << (m - COORD_BITS))
+        | (u64::from(dest_y) << (m - 2 * COORD_BITS))
+        | payload
+}
+
+/// Extracts `(dest_x, dest_y, payload)` from an `m`-bit flit.
+pub fn unpack(m: u8, flit: u64) -> (u8, u8, u64) {
+    let pl_bits = m - 2 * COORD_BITS;
+    let x = (flit >> (m - COORD_BITS)) as u8 & 0xF;
+    let y = (flit >> pl_bits) as u8 & 0xF;
+    let payload = flit & ((1u64 << pl_bits) - 1);
+    (x, y, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for (x, y, p) in [(0u8, 0u8, 0u64), (3, 7, 0xABCDEF), (15, 15, 0xFF_FFFF)] {
+            let f = pack(32, x, y, p);
+            assert_eq!(unpack(32, f), (x, y, p));
+        }
+    }
+
+    #[test]
+    fn header_occupies_the_top_byte() {
+        let f = pack(32, 0xA, 0x5, 0);
+        assert_eq!(f, 0xA500_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_payload_rejected() {
+        let _ = pack(32, 0, 0, 1 << 24);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sal-switch — a gate-level NoC switch and small fabrics
+//!
+//! The paper treats the NoC switch as a given ("switches which are
+//! responsible for routing the packet", §I) and evaluates only the
+//! link between two of them. This crate builds that presumed substrate
+//! at the same gate level as the links: a five-port switch made of
+//! `sal-cells` primitives —
+//!
+//! * **elastic input buffers** (the skid stage shared with the
+//!   synchronous link I1),
+//! * a **gate-level XY route unit** (4-bit magnitude comparators
+//!   against the switch's own coordinates),
+//! * **fixed-priority arbiters** per output port, and
+//! * one-hot **crossbar multiplexers** —
+//!
+//! plus [`fabric`]: row fabrics of several switches whose
+//! switch-to-switch channels are any of the paper's three links (the
+//! parallel I1 or the serialized asynchronous I2/I3), demonstrating the
+//! paper's Fig 2 system end to end *entirely at gate level*.
+//!
+//! Flits are single-flit packets carrying their destination in the
+//! top byte (see [`flit`]): `[x(4) | y(4) | payload(m-8)]`. Wormhole
+//! (multi-flit) switching lives in the behavioural `sal-noc`
+//! simulator; at gate level, single-flit packets exercise the same
+//! routing, arbitration and backpressure paths the links must survive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod compare;
+pub mod fabric;
+pub mod flit;
+pub mod switch;
+
+pub use fabric::{build_mesh_fabric, build_row_fabric, FabricHandles};
+pub use switch::{build_switch, SwitchPorts};

@@ -1,0 +1,36 @@
+//! # sal-tech — technology and cost models
+//!
+//! The quantitative layer of the reproduction: a 0.12 µm-flavoured
+//! standard-cell datasheet (delays, areas, switching energies), the
+//! METAL6 wire geometry used by the paper's wiring-area equation, and
+//! the activity-based power estimator that converts simulated toggle
+//! counts into the microwatt numbers reported in Figs 12–14.
+//!
+//! The paper synthesised its links with an ST 0.12 µm library
+//! (CORE9GPLL) and measured power with Cadence Spectre. We cannot run
+//! either, so this crate substitutes:
+//!
+//! * **Delays** — anchored to the one datasheet number the paper
+//!   quotes (inverter delay 0.011 ns) with the rest scaled by typical
+//!   relative cell complexity.
+//! * **Areas** — chosen so the gate-level link netlists reproduce the
+//!   block areas of Table 2 (the calibration is *structural*: cell
+//!   counts come from the netlists, only the per-cell footprint is a
+//!   technology constant).
+//! * **Energies** — per-bit-toggle switching energies plus an
+//!   analytical clock-load term ([`clock_power_uw`]); the single free
+//!   scale factor is fixed against the paper's I1 @ 100 MHz, 2-buffer
+//!   point, and every other configuration is then *predicted*.
+//!
+//! See `DESIGN.md` §2 for the substitution argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod library;
+mod power;
+mod wire;
+
+pub use library::{Corner, St012Library};
+pub use power::{clock_power_uw, PowerBreakdown, PowerMeter};
+pub use wire::WireModel;

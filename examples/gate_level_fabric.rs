@@ -1,0 +1,65 @@
+//! Gate-level fabric demo: three five-port switches joined by the
+//! paper's serialized asynchronous links — every gate of every switch,
+//! interface, serializer and wire buffer simulated event by event.
+//!
+//! Run with: `cargo run --example gate_level_fabric --release`
+
+use sal::cells::CircuitBuilder;
+use sal::des::{Simulator, Time, Value};
+use sal::link::testbench::{
+    attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource,
+};
+use sal::link::{LinkConfig, LinkKind};
+use sal::switch::{build_row_fabric, flit};
+use sal::tech::St012Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = LinkConfig::default();
+    let mut sim = Simulator::new();
+    let lib = St012Library::default();
+    let mut b = CircuitBuilder::new(&mut sim, &lib);
+    let fabric = build_row_fabric(&mut b, "fab", 3, LinkKind::I3PerWord, &cfg);
+    let ledger = b.finish();
+
+    for &r in &fabric.rstns {
+        sim.stimulus(r, &[(Time::ZERO, Value::zero(1)), (Time::from_ns(2), Value::one(1))]);
+    }
+
+    // Every switch sends one flit to each other switch.
+    let mut sinks = Vec::new();
+    for (i, &(fi, vi, so)) in fabric.local_in.iter().enumerate() {
+        let words: Vec<u64> = (0..3)
+            .filter(|&d| d != i)
+            .map(|d| flit::pack(cfg.flit_width, d as u8, 0, (0x100 * (i + 1) + d) as u64))
+            .collect();
+        let (src, _) = SyncFlitSource::new(fabric.clk, so, fi, vi, cfg.flit_width, words);
+        let src = src.with_rstn(fabric.rstns[0]);
+        attach_sync_source(&mut sim, &format!("src{i}"), src, Time::ZERO);
+    }
+    for (i, &(fo, vo, si)) in fabric.local_out.iter().enumerate() {
+        let (snk, rx) = SyncFlitSink::new(fabric.clk, vo, fo, si);
+        attach_sync_sink(&mut sim, &format!("snk{i}"), snk, Time::ZERO);
+        sinks.push(rx);
+    }
+
+    sim.run_until(Time::from_us(3))?;
+
+    println!(
+        "gate-level fabric: 3 switches, 4 serialized I3 links, {} signals, {} components",
+        sim.signal_count(),
+        sim.component_count()
+    );
+    println!("total cell area: {:.0} um2\n", ledger.total_um2());
+    let mut delivered = 0;
+    for (i, rx) in sinks.iter().enumerate() {
+        for &(t, w) in rx.borrow().iter() {
+            let (dx, _, payload) = flit::unpack(cfg.flit_width, w);
+            assert_eq!(dx as usize, i, "misrouted flit");
+            println!("switch {i} received payload {payload:#05x} at {t}");
+            delivered += 1;
+        }
+    }
+    assert_eq!(delivered, 6, "all six flits must arrive");
+    println!("\nall {delivered} flits delivered across the gate-level mesh row");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Power sweep: reproduce the paper's Fig 12/13 style experiment over
+//! a custom range of buffer counts and clock frequencies.
+//!
+//! Run with: `cargo run --example link_power_sweep --release`
+
+use sal::des::Time;
+use sal::link::measure::{run_flits, MeasureOptions};
+use sal::link::testbench::worst_case_pattern;
+use sal::link::{LinkConfig, LinkKind};
+
+fn main() {
+    let words = worst_case_pattern(4, 32);
+    for &mhz in &[100u64, 200, 300] {
+        println!("switch clock {mhz} MHz (power in uW, 50% usage):");
+        println!("  {:>8} {:>8} {:>8} {:>8}", "buffers", "I1", "I2", "I3");
+        for buffers in [2u32, 4, 6, 8] {
+            let cfg = LinkConfig {
+                buffers,
+                clk_period: Time::from_hz(mhz as f64 * 1e6),
+                ..LinkConfig::default()
+            };
+            let mut row = Vec::new();
+            for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+                let run = run_flits(kind, &cfg, &words, &MeasureOptions::default());
+                row.push(run.total_power_uw());
+            }
+            println!(
+                "  {:>8} {:>8.0} {:>8.0} {:>8.0}",
+                buffers, row[0], row[1], row[2]
+            );
+        }
+        println!();
+    }
+    println!(
+        "Shape check (paper Figs 12-13): the synchronous link grows with both\n\
+         buffer count and clock frequency, while the asynchronous links stay\n\
+         nearly flat — their cost is concentrated in the clock-domain\n\
+         conversion interfaces."
+    );
+}

@@ -1,0 +1,67 @@
+//! NoC-level scenario: a 4×4 mesh under several traffic patterns,
+//! with channels modelled after the parallel link I1 and the
+//! serialized asynchronous link I3 — the system the paper's
+//! introduction motivates.
+//!
+//! Run with: `cargo run --example mesh_traffic --release`
+
+use sal::des::Time;
+use sal::link::{LinkConfig, LinkKind};
+use sal::noc::{
+    LinkModel, Mesh, Network, NetworkConfig, NodeId, TrafficPattern,
+};
+
+fn main() {
+    let mesh = Mesh::new(4, 4);
+    let patterns = [
+        ("uniform", TrafficPattern::UniformRandom),
+        ("transpose", TrafficPattern::Transpose),
+        ("bit-complement", TrafficPattern::BitComplement),
+        ("hotspot(n0,30%)", TrafficPattern::Hotspot { node: NodeId(0), permille: 300 }),
+    ];
+    // A fast-clocked system, where the serial links saturate below one
+    // flit per cycle and the trade-off is visible.
+    let lcfg = LinkConfig { clk_period: Time::from_ps(2_500), ..LinkConfig::default() };
+
+    for (kind, label) in [
+        (LinkKind::I1Sync, "I1 parallel (33 wires/channel)"),
+        (LinkKind::I3PerWord, "I3 serialized (10 wires/channel)"),
+    ] {
+        let model = LinkModel::from_link(kind, &lcfg);
+        println!(
+            "{label}: {:.2} flits/cycle/channel, {} mesh wires total",
+            model.flits_per_cycle,
+            mesh.channel_count() * model.wires as usize
+        );
+        println!(
+            "  {:<16} {:>8} {:>10} {:>10} {:>9}",
+            "pattern", "offered", "accepted", "latency", "p95"
+        );
+        for (name, pat) in patterns {
+            for &rate in &[0.1, 0.4] {
+                let cfg = NetworkConfig {
+                    mesh,
+                    link: model,
+                    input_queue_flits: 8,
+                    packet_len_flits: 4,
+                };
+                let mut net = Network::new(cfg, pat, rate, 7);
+                let stats = net.run(8_000, 2_000);
+                println!(
+                    "  {:<16} {:>8.2} {:>10.3} {:>10.1} {:>9}",
+                    name,
+                    rate,
+                    stats.throughput_fpnc(),
+                    stats.avg_latency(),
+                    stats.latency_quantile(0.95)
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "The serialized mesh trades a modest latency/throughput hit at high\n\
+         clock rates for a third of the wiring — the paper's Fig 10 argument\n\
+         at network scale."
+    );
+}

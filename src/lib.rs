@@ -1,0 +1,53 @@
+//! # sal — Serialized Asynchronous Links for NoC
+//!
+//! Umbrella crate for the reproduction of *Serialized Asynchronous
+//! Links for NoC* (Ogg, Valli, Al-Hashimi, Yakovlev, D'Alessandro,
+//! Benini — DATE 2008). It re-exports the workspace crates:
+//!
+//! * [`des`] — discrete-event gate-level simulation kernel,
+//! * [`cells`] — primitive cell library (gates, latches, C-elements,
+//!   David cells),
+//! * [`tech`] — 0.12 µm-flavoured technology models (delay, area,
+//!   energy, wires),
+//! * [`link`] — the paper's contribution: the synchronous link I1 and
+//!   the serialized asynchronous links I2 (per-transfer ack) and I3
+//!   (per-word ack),
+//! * [`analytic`] — the paper's §V closed-form delay/cost models,
+//! * [`noc`] — a mesh NoC substrate with pluggable link models,
+//! * [`switch`] — a gate-level five-port NoC switch and small fabrics
+//!   wired with the serialized links.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-versus-measured
+//! results. The runnable entry points live in `examples/` and in the
+//! `sal-bench` crate's binaries (one per figure/table of the paper).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sal::link::measure::{run_flits, MeasureOptions};
+//! use sal::link::testbench::worst_case_pattern;
+//! use sal::link::{LinkConfig, LinkKind};
+//!
+//! // Send the paper's worst-case 4-flit pattern over the proposed
+//! // per-word asynchronous serial link and measure it.
+//! let cfg = LinkConfig::default();
+//! let run = run_flits(
+//!     LinkKind::I3PerWord,
+//!     &cfg,
+//!     &worst_case_pattern(4, 32),
+//!     &MeasureOptions::default(),
+//! );
+//! assert_eq!(run.received_words(), worst_case_pattern(4, 32));
+//! println!("power: {:.0} µW over {}", run.total_power_uw(), run.window);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sal_analytic as analytic;
+pub use sal_cells as cells;
+pub use sal_des as des;
+pub use sal_link as link;
+pub use sal_noc as noc;
+pub use sal_switch as switch;
+pub use sal_tech as tech;

@@ -1,0 +1,97 @@
+//! End-to-end data-integrity properties: any flit sequence must cross
+//! any of the three links bit-exact and in order, for arbitrary buffer
+//! counts, slice widths and clock speeds.
+
+use proptest::prelude::*;
+use sal::des::Time;
+use sal::link::measure::{run_flits, MeasureOptions};
+use sal::link::{LinkConfig, LinkKind};
+
+fn check(kind: LinkKind, cfg: &LinkConfig, words: &[u64]) {
+    let run = run_flits(kind, cfg, words, &MeasureOptions::default());
+    assert_eq!(
+        run.received_words(),
+        words,
+        "{} corrupted data (cfg {:?})",
+        kind.label(),
+        cfg
+    );
+}
+
+proptest! {
+    // Each case simulates a full gate-level link; keep counts modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn i1_delivers_any_sequence(
+        words in proptest::collection::vec(any::<u32>(), 1..10),
+        buffers in 1u32..8,
+    ) {
+        let cfg = LinkConfig { buffers, ..LinkConfig::default() };
+        let words: Vec<u64> = words.into_iter().map(u64::from).collect();
+        check(LinkKind::I1Sync, &cfg, &words);
+    }
+
+    #[test]
+    fn i2_delivers_any_sequence(
+        words in proptest::collection::vec(any::<u32>(), 1..10),
+        buffers in 1u32..8,
+    ) {
+        let cfg = LinkConfig { buffers, ..LinkConfig::default() };
+        let words: Vec<u64> = words.into_iter().map(u64::from).collect();
+        check(LinkKind::I2PerTransfer, &cfg, &words);
+    }
+
+    #[test]
+    fn i3_delivers_any_sequence(
+        words in proptest::collection::vec(any::<u32>(), 1..10),
+        buffers in 1u32..8,
+    ) {
+        let cfg = LinkConfig { buffers, ..LinkConfig::default() };
+        let words: Vec<u64> = words.into_iter().map(u64::from).collect();
+        check(LinkKind::I3PerWord, &cfg, &words);
+    }
+
+    #[test]
+    fn async_links_survive_random_clock_rates(
+        period_ps in 1_500u64..20_000,
+        seed in any::<u32>(),
+    ) {
+        let cfg = LinkConfig {
+            clk_period: Time::from_ps(period_ps),
+            ..LinkConfig::default()
+        };
+        let words: Vec<u64> = (0..6).map(|i| (seed as u64).wrapping_mul(i + 1) & 0xFFFF_FFFF).collect();
+        check(LinkKind::I2PerTransfer, &cfg, &words);
+        check(LinkKind::I3PerWord, &cfg, &words);
+    }
+
+    #[test]
+    fn alternative_slice_widths_round_trip(
+        pick in 0usize..3,
+        words in proptest::collection::vec(any::<u32>(), 1..6),
+    ) {
+        let slice_width = [4u8, 8, 16][pick];
+        let cfg = LinkConfig { slice_width, ..LinkConfig::default() };
+        let words: Vec<u64> = words.into_iter().map(u64::from).collect();
+        check(LinkKind::I2PerTransfer, &cfg, &words);
+        check(LinkKind::I3PerWord, &cfg, &words);
+    }
+}
+
+#[test]
+fn sixty_four_flits_sustained_all_links() {
+    let words: Vec<u64> = (0..64).map(|i| (i * 0x9E37_79B9) & 0xFFFF_FFFF).collect();
+    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        check(kind, &LinkConfig::default(), &words);
+    }
+}
+
+#[test]
+fn sixteen_bit_flit_configuration() {
+    let cfg = LinkConfig { flit_width: 16, slice_width: 4, ..LinkConfig::default() };
+    let words: Vec<u64> = vec![0xFFFF, 0x0000, 0xA5A5, 0x5A5A, 0x8001];
+    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        check(kind, &cfg, &words);
+    }
+}
