@@ -8,6 +8,8 @@ use sal_link::testbench::worst_case_pattern;
 use sal_link::{LinkConfig, LinkKind, WordRxStyle};
 use sal_tech::{Corner, St012Library};
 
+use crate::sweep::sweep_map;
+
 /// Early-ack ablation row: saturation throughput of I3 with and
 /// without the early word acknowledgement, per buffer count.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -34,18 +36,15 @@ fn saturation(cfg: &LinkConfig) -> f64 {
 /// the upper bound throughput could be achieved by earlier
 /// acknowledging".
 pub fn early_ack() -> Vec<EarlyAckRow> {
-    [2u32, 4, 8]
-        .iter()
-        .map(|&buffers| {
-            let base = LinkConfig { buffers, ..LinkConfig::default() };
-            let early = LinkConfig { early_word_ack: true, ..base.clone() };
-            EarlyAckRow {
-                buffers,
-                baseline_mflits: saturation(&base),
-                early_mflits: saturation(&early),
-            }
-        })
-        .collect()
+    sweep_map(vec![2u32, 4, 8], |buffers| {
+        let base = LinkConfig { buffers, ..LinkConfig::default() };
+        let early = LinkConfig { early_word_ack: true, ..base.clone() };
+        EarlyAckRow {
+            buffers,
+            baseline_mflits: saturation(&base),
+            early_mflits: saturation(&early),
+        }
+    })
 }
 
 /// Slice-width ablation row (§III: "the circuit can easily be modified
@@ -64,25 +63,22 @@ pub struct SliceRow {
 
 /// Wires vs. throughput vs. power across serialization factors.
 pub fn slice_width() -> Vec<SliceRow> {
-    [16u8, 8, 4]
-        .iter()
-        .map(|&slice_width| {
-            let cfg = LinkConfig { slice_width, ..LinkConfig::default() };
-            let power = run_flits(
-                LinkKind::I3PerWord,
-                &cfg,
-                &worst_case_pattern(4, 32),
-                &MeasureOptions::default(),
-            )
-            .total_power_uw();
-            SliceRow {
-                slice_width,
-                wires: cfg.wires_async(),
-                saturation_mflits: saturation(&cfg),
-                power_uw: power,
-            }
-        })
-        .collect()
+    sweep_map(vec![16u8, 8, 4], |slice_width| {
+        let cfg = LinkConfig { slice_width, ..LinkConfig::default() };
+        let power = run_flits(
+            LinkKind::I3PerWord,
+            &cfg,
+            &worst_case_pattern(4, 32),
+            &MeasureOptions::default(),
+        )
+        .total_power_uw();
+        SliceRow {
+            slice_width,
+            wires: cfg.wires_async(),
+            saturation_mflits: saturation(&cfg),
+            power_uw: power,
+        }
+    })
 }
 
 /// Receiver-style ablation row: shift register vs. demux (the paper's
@@ -101,23 +97,20 @@ pub struct RxStyleRow {
 /// latches one. The paper: "all four registers are being latched every
 /// time a slice of the flit arrives opposed to just one register".
 pub fn rx_style() -> Vec<RxStyleRow> {
-    [WordRxStyle::ShiftRegister, WordRxStyle::Demux]
-        .iter()
-        .map(|&style| {
-            let cfg = LinkConfig { word_rx_style: style, ..LinkConfig::default() };
-            let run = run_flits(
-                LinkKind::I3PerWord,
-                &cfg,
-                &worst_case_pattern(4, 32),
-                &MeasureOptions::default(),
-            );
-            RxStyleRow {
-                style,
-                des_power_uw: run.sim_power_uw("link.des"),
-                total_power_uw: run.total_power_uw(),
-            }
-        })
-        .collect()
+    sweep_map(vec![WordRxStyle::ShiftRegister, WordRxStyle::Demux], |style| {
+        let cfg = LinkConfig { word_rx_style: style, ..LinkConfig::default() };
+        let run = run_flits(
+            LinkKind::I3PerWord,
+            &cfg,
+            &worst_case_pattern(4, 32),
+            &MeasureOptions::default(),
+        );
+        RxStyleRow {
+            style,
+            des_power_uw: run.sim_power_uw("link.des"),
+            total_power_uw: run.total_power_uw(),
+        }
+    })
 }
 
 /// Technology-corner ablation row.
@@ -136,26 +129,23 @@ pub struct CornerRow {
 /// slower corners run slower — while the synchronous link is pinned to
 /// its clock at every corner.
 pub fn corners() -> Vec<CornerRow> {
-    [Corner::Fast, Corner::Typical, Corner::Slow]
-        .iter()
-        .map(|&corner| {
-            let lib = St012Library::at_corner(corner);
-            let opts = MeasureOptions { lib: lib.clone(), ..MeasureOptions::default() };
-            let fast_cfg = LinkConfig {
-                clk_period: Time::from_ps(1000),
-                ..LinkConfig::default()
-            };
-            let words: Vec<u64> = (0..24).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
-            let i3 =
-                run_flits(LinkKind::I3PerWord, &fast_cfg, &words, &opts).throughput_mflits();
-            let sync_cfg = LinkConfig {
-                clk_period: Time::from_ns_f64(10.0 / 3.0),
-                ..LinkConfig::default()
-            };
-            let i1 = run_flits(LinkKind::I1Sync, &sync_cfg, &words, &opts).throughput_mflits();
-            CornerRow { corner, i3_saturation_mflits: i3, i1_mflits: i1 }
-        })
-        .collect()
+    sweep_map(vec![Corner::Fast, Corner::Typical, Corner::Slow], |corner| {
+        let lib = St012Library::at_corner(corner);
+        let opts = MeasureOptions { lib: lib.clone(), ..MeasureOptions::default() };
+        let fast_cfg = LinkConfig {
+            clk_period: Time::from_ps(1000),
+            ..LinkConfig::default()
+        };
+        let words: Vec<u64> = (0..24).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
+        let i3 =
+            run_flits(LinkKind::I3PerWord, &fast_cfg, &words, &opts).throughput_mflits();
+        let sync_cfg = LinkConfig {
+            clk_period: Time::from_ns_f64(10.0 / 3.0),
+            ..LinkConfig::default()
+        };
+        let i1 = run_flits(LinkKind::I1Sync, &sync_cfg, &words, &opts).throughput_mflits();
+        CornerRow { corner, i3_saturation_mflits: i3, i1_mflits: i1 }
+    })
 }
 
 #[cfg(test)]

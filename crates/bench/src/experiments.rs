@@ -8,6 +8,8 @@ use sal_link::{LinkConfig, LinkKind};
 use sal_noc::{LinkModel, Mesh, Network, NetworkConfig, TrafficPattern};
 use sal_tech::WireModel;
 
+use crate::sweep::sweep_map;
+
 /// All three link kinds, in the paper's order.
 pub const KINDS: [LinkKind; 3] =
     [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord];
@@ -127,33 +129,33 @@ pub fn fig13() -> Vec<PowerRow> {
             .find(|((k, b), _)| *k == kind && *b == buffers)
             .map(|(_, w)| *w)
     };
-    KINDS
+    let points: Vec<(LinkKind, u32)> = KINDS
         .iter()
         .flat_map(|&kind| {
             BUFFER_SWEEP.iter().map(move |&buffers| (kind, buffers))
         })
-        .map(|(kind, buffers)| {
-            let cfg = cfg_at(buffers, clk_300mhz());
-            let opts = MeasureOptions {
-                window_override: lookup(kind, buffers),
-                ..MeasureOptions::default()
-            };
-            let run = run_flits(kind, &cfg, &worst_case_pattern(4, 32), &opts);
-            PowerRow { kind, buffers, power_uw: run.total_power_uw() }
-        })
-        .collect()
+        .collect();
+    sweep_map(points, |(kind, buffers)| {
+        let cfg = cfg_at(buffers, clk_300mhz());
+        let opts = MeasureOptions {
+            window_override: lookup(kind, buffers),
+            ..MeasureOptions::default()
+        };
+        let run = run_flits(kind, &cfg, &worst_case_pattern(4, 32), &opts);
+        PowerRow { kind, buffers, power_uw: run.total_power_uw() }
+    })
 }
 
 fn power_runs(clk: Time, window: Option<Time>) -> Vec<LinkRun> {
-    KINDS
+    let points: Vec<(LinkKind, u32)> = KINDS
         .iter()
         .flat_map(|&kind| BUFFER_SWEEP.iter().map(move |&b| (kind, b)))
-        .map(|(kind, buffers)| {
-            let cfg = cfg_at(buffers, clk);
-            let opts = MeasureOptions { window_override: window, ..MeasureOptions::default() };
-            run_flits(kind, &cfg, &worst_case_pattern(4, 32), &opts)
-        })
-        .collect()
+        .collect();
+    sweep_map(points, |(kind, buffers)| {
+        let cfg = cfg_at(buffers, clk);
+        let opts = MeasureOptions { window_override: window, ..MeasureOptions::default() };
+        run_flits(kind, &cfg, &worst_case_pattern(4, 32), &opts)
+    })
 }
 
 fn power_sweep(clk: Time, window: Option<Time>) -> Vec<PowerRow> {
@@ -399,37 +401,39 @@ pub struct NocRow {
 /// modelled after each link at 100 MHz and 400 MHz (where the serial
 /// links saturate below one flit per cycle).
 pub fn noc_study() -> Vec<NocRow> {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for &(mhz, period_ps) in &[(100.0, 10_000u64), (600.0, 1_667)] {
         for &kind in &KINDS {
-            let lcfg = LinkConfig {
-                clk_period: Time::from_ps(period_ps),
-                ..LinkConfig::default()
-            };
-            let model = LinkModel::from_link(kind, &lcfg);
-            let mesh = Mesh::new(4, 4);
-            let total_wires = mesh.channel_count() as u64 * model.wires as u64;
             for &offered in &[0.1, 0.3, 0.5] {
-                let cfg = NetworkConfig {
-                    mesh,
-                    link: model,
-                    input_queue_flits: 8,
-                    packet_len_flits: 4,
-                };
-                let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 2024);
-                let stats = net.run(6_000, 2_000);
-                rows.push(NocRow {
-                    kind,
-                    clk_mhz: mhz,
-                    offered,
-                    accepted: stats.throughput_fpnc(),
-                    avg_latency: stats.avg_latency(),
-                    total_wires,
-                });
+                points.push((mhz, period_ps, kind, offered));
             }
         }
     }
-    rows
+    sweep_map(points, |(mhz, period_ps, kind, offered)| {
+        let lcfg = LinkConfig {
+            clk_period: Time::from_ps(period_ps),
+            ..LinkConfig::default()
+        };
+        let model = LinkModel::from_link(kind, &lcfg);
+        let mesh = Mesh::new(4, 4);
+        let total_wires = mesh.channel_count() as u64 * model.wires as u64;
+        let cfg = NetworkConfig {
+            mesh,
+            link: model,
+            input_queue_flits: 8,
+            packet_len_flits: 4,
+        };
+        let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 2024);
+        let stats = net.run(6_000, 2_000);
+        NocRow {
+            kind,
+            clk_mhz: mhz,
+            offered,
+            accepted: stats.throughput_fpnc(),
+            avg_latency: stats.avg_latency(),
+            total_wires,
+        }
+    })
 }
 
 /// One point of a load/latency curve.
@@ -451,33 +455,32 @@ pub struct CurvePoint {
 /// clock, where serialization bites: the classic NoC evaluation the
 /// paper's link-level study feeds into.
 pub fn noc_curves() -> Vec<CurvePoint> {
-    let mut out = Vec::new();
-    for &kind in &KINDS {
+    let points: Vec<(LinkKind, f64)> = KINDS
+        .iter()
+        .flat_map(|&kind| (1..=8).map(move |i| (kind, 0.08 * i as f64)))
+        .collect();
+    sweep_map(points, |(kind, offered)| {
         let lcfg = LinkConfig {
             clk_period: Time::from_ps(1_667),
             ..LinkConfig::default()
         };
         let model = LinkModel::from_link(kind, &lcfg);
-        for i in 1..=8 {
-            let offered = 0.08 * i as f64;
-            let cfg = NetworkConfig {
-                mesh: Mesh::new(4, 4),
-                link: model,
-                input_queue_flits: 8,
-                packet_len_flits: 4,
-            };
-            let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 4242);
-            let stats = net.run(6_000, 2_000);
-            out.push(CurvePoint {
-                kind,
-                offered,
-                accepted: stats.throughput_fpnc(),
-                avg_latency: stats.avg_latency(),
-                p95_latency: stats.latency_quantile(0.95),
-            });
+        let cfg = NetworkConfig {
+            mesh: Mesh::new(4, 4),
+            link: model,
+            input_queue_flits: 8,
+            packet_len_flits: 4,
+        };
+        let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 4242);
+        let stats = net.run(6_000, 2_000);
+        CurvePoint {
+            kind,
+            offered,
+            accepted: stats.throughput_fpnc(),
+            avg_latency: stats.avg_latency(),
+            p95_latency: stats.latency_quantile(0.95),
         }
-    }
-    out
+    })
 }
 
 #[cfg(test)]

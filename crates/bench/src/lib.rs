@@ -24,4 +24,5 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod sweep;
 pub mod table;

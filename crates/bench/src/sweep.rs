@@ -1,0 +1,211 @@
+//! Parallel sweep harness: fans independent simulator-per-config runs
+//! across scoped worker threads.
+//!
+//! Every experiment in this crate is a sweep of *independent*
+//! configurations — each point builds its own [`sal_des::Simulator`]
+//! (or NoC [`sal_noc::Network`]), runs it, and reduces to a result
+//! row. No state is shared between points, so the sweep parallelises
+//! trivially: [`parallel_map`] claims configurations from a shared
+//! work list and writes each result into the slot of its *input*
+//! index, making the output order — and therefore every downstream
+//! table — identical to the sequential run regardless of which worker
+//! finishes first.
+//!
+//! Worker panics are surfaced as a [`SweepError`] after all other
+//! workers drain the remaining work; a poisoned run can never hang or
+//! silently drop rows.
+
+use std::sync::Mutex;
+
+/// Error returned when a sweep worker panicked.
+#[derive(Debug)]
+pub struct SweepError {
+    /// Panic payload of the first worker that died, as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Worker-thread count: the `SAL_SWEEP_THREADS` environment variable
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism.
+pub fn thread_count() -> usize {
+    if let Some(n) = std::env::var("SAL_SWEEP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to [`thread_count`] scoped threads,
+/// returning the results in input order.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] if any worker panicked. The surviving
+/// workers finish the remaining items first, so the error path joins
+/// every thread — it cannot hang.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Result<Vec<R>, SweepError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(items, thread_count(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count (exposed for tests;
+/// experiments should use [`parallel_map`]).
+pub fn parallel_map_with<T, R, F>(
+    items: Vec<T>,
+    workers: usize,
+    f: F,
+) -> Result<Vec<R>, SweepError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return Ok(items.into_iter().map(f).collect());
+    }
+    let workers = workers.min(n);
+    // Work list and result slots. Items are *taken* from the back of
+    // the list (cheap pop) — claim order is irrelevant because each
+    // result lands in the slot of its original index.
+    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let first_panic = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| loop {
+                    // Hold the lock only for the pop: the simulation
+                    // itself runs unlocked, so workers overlap fully
+                    // and a panic inside `f` cannot poison the list.
+                    let claimed = work.lock().expect("work list poisoned").pop();
+                    match claimed {
+                        Some((idx, item)) => {
+                            let out = f(item);
+                            results.lock().expect("result list poisoned")[idx] = Some(out);
+                        }
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        let mut panic_msg: Option<String> = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                // `&*` reaches the payload inside the box — `&payload`
+                // would unsize-coerce the `Box` itself to `&dyn Any`
+                // and every downcast would miss.
+                panic_msg.get_or_insert_with(|| panic_text(&*payload));
+            }
+        }
+        panic_msg
+    })
+    .expect("all workers joined above");
+    if let Some(message) = first_panic {
+        return Err(SweepError { message });
+    }
+    let slots = results.into_inner().expect("result list poisoned");
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("no panic, so every slot was filled"))
+        .collect())
+}
+
+/// Renders a panic payload (`&str` or `String` in practice) as text.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`parallel_map`] for infallible experiment sweeps: propagates a
+/// worker panic as a panic in the caller (matching the behaviour the
+/// sequential loop had), instead of burdening every figure function
+/// with a `Result`.
+pub fn sweep_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    match parallel_map(items, f) {
+        Ok(rows) => rows,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn results_keep_input_order_despite_scheduling() {
+        // Early items sleep longest, so with 4 workers the completion
+        // order is roughly reversed — the output must not be.
+        let items: Vec<usize> = (0..32).collect();
+        let out = parallel_map_with(items, 4, |i| {
+            std::thread::sleep(Duration::from_micros(((32 - i) * 50) as u64));
+            i * 10
+        })
+        .unwrap();
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let f = |i: u64| i.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let seq = parallel_map_with((0..100).collect(), 1, f).unwrap();
+        let par = parallel_map_with((0..100).collect(), 8, f).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_not_hang() {
+        let done = AtomicUsize::new(0);
+        let err = parallel_map_with((0..16).collect::<Vec<usize>>(), 4, |i| {
+            if i == 3 {
+                panic!("boom at {i}");
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+            i
+        })
+        .unwrap_err();
+        assert!(err.message.contains("boom at 3"), "got: {}", err.message);
+        // The surviving workers drained the rest of the sweep.
+        assert_eq!(done.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn single_worker_and_empty_inputs() {
+        assert_eq!(parallel_map_with(Vec::<u8>::new(), 4, |x| x).unwrap(), Vec::<u8>::new());
+        assert_eq!(parallel_map_with(vec![7], 4, |x: u8| x + 1).unwrap(), vec![8]);
+        assert_eq!(parallel_map_with(vec![1, 2, 3], 1, |x: u8| x * 2).unwrap(), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn thread_count_env_override() {
+        // Not a parallel test of the env var itself (process-global),
+        // just the parse contract: garbage and zero fall back.
+        assert!(thread_count() >= 1);
+    }
+}

@@ -15,7 +15,11 @@ use sal_des::{Component, Ctx, Logic, SignalId, Time, Value};
 /// When `rstn` is low the output is forced to `init` (normally 0).
 #[derive(Debug)]
 pub struct CElement {
-    inputs: Vec<SignalId>,
+    /// Input signals, stored inline (2 or 3): C-elements are the most
+    /// numerous async cell, and keeping the inputs out of a heap
+    /// allocation saves a dependent load per evaluation.
+    inputs: [SignalId; 3],
+    n_inputs: u8,
     rstn: Option<SignalId>,
     z: SignalId,
     delay: Time,
@@ -43,7 +47,10 @@ impl CElement {
             "C-element supports 2 or 3 inputs, got {}",
             inputs.len()
         );
-        CElement { inputs, rstn, z, delay, init, state: Logic::X }
+        let n = inputs.len();
+        let mut arr = [z; 3]; // placeholder; only ..n is ever read
+        arr[..n].copy_from_slice(&inputs);
+        CElement { inputs: arr, n_inputs: n as u8, rstn, z, delay, init, state: Logic::X }
     }
 }
 
@@ -58,7 +65,7 @@ impl Component for CElement {
         }
         let mut all_one = true;
         let mut all_zero = true;
-        for &i in &self.inputs {
+        for &i in &self.inputs[..self.n_inputs as usize] {
             match ctx.read(i).as_logic() {
                 Logic::One => all_zero = false,
                 Logic::Zero => all_one = false,

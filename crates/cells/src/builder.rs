@@ -28,7 +28,13 @@ impl AreaLedger {
 
     /// Adds `area_um2` to the given scope path.
     pub fn add(&mut self, path: &str, area_um2: f64) {
-        *self.entries.entry(path.to_string()).or_insert(0.0) += area_um2;
+        // Cells land in the current scope many times in a row, so the
+        // existing-key path must not allocate a lookup String.
+        if let Some(a) = self.entries.get_mut(path) {
+            *a += area_um2;
+        } else {
+            self.entries.insert(path.to_string(), area_um2);
+        }
     }
 
     /// Total area across all scopes, µm².
@@ -107,10 +113,6 @@ impl<'a> CircuitBuilder<'a> {
         self.sim.pop_scope()
     }
 
-    fn scope_path(&self) -> String {
-        self.sim.scope_path(self.sim.current_scope()).as_str().to_string()
-    }
-
     /// Declares an undriven input signal (driven later by a stimulus
     /// or another block).
     pub fn input(&mut self, name: &str, width: u8) -> SignalId {
@@ -119,15 +121,15 @@ impl<'a> CircuitBuilder<'a> {
 
     fn account(&mut self, kind: CellKind, width: u8) -> crate::kind::CellParams {
         let p = self.lib.params(kind);
-        let path = self.scope_path();
-        self.area.add(&path, p.area_um2 * width as f64);
+        let path = self.sim.scope_path_str(self.sim.current_scope());
+        self.area.add(path, p.area_um2 * width as f64);
         p
     }
 
     fn gate(&mut self, name: &str, op: GateOp, kind: CellKind, inputs: &[SignalId]) -> SignalId {
         let width = inputs
             .iter()
-            .map(|&s| self.sim.signal_info(s).width)
+            .map(|&s| self.sim.signal_width(s))
             .max()
             .expect("gate needs at least one input");
         let p = self.account(kind, width);
@@ -203,10 +205,10 @@ impl<'a> CircuitBuilder<'a> {
 
     /// Word-wide 2-way multiplexer (`sel` 1 bit; `a`, `b` same width).
     pub fn mux2(&mut self, name: &str, sel: SignalId, a: SignalId, b: SignalId) -> SignalId {
-        let width = self.sim.signal_info(a).width;
+        let width = self.sim.signal_width(a);
         assert_eq!(
             width,
-            self.sim.signal_info(b).width,
+            self.sim.signal_width(b),
             "mux2 data widths differ"
         );
         let p = self.account(CellKind::Mux2, width);
@@ -226,7 +228,7 @@ impl<'a> CircuitBuilder<'a> {
         en: SignalId,
         rstn: Option<SignalId>,
     ) -> SignalId {
-        let width = self.sim.signal_info(d).width;
+        let width = self.sim.signal_width(d);
         let p = self.account(CellKind::DLatch, width);
         let q = self.sim.add_signal(name, width);
         let comp = DLatch::new(d, en, rstn, q, width, p.delay);
@@ -246,11 +248,15 @@ impl<'a> CircuitBuilder<'a> {
         clk: SignalId,
         rstn: Option<SignalId>,
     ) -> SignalId {
-        let width = self.sim.signal_info(d).width;
+        let width = self.sim.signal_width(d);
         let p = self.account(CellKind::Dff, width);
         let q = self.sim.add_signal(name, width);
         let comp = Dff::new(d, clk, rstn, q, width, p.delay);
-        let mut ins = vec![d, clk];
+        // Edge-triggered sensitivity: a `d`-only change cannot move
+        // `q` (the clock level is unchanged, so no rising edge is
+        // detected), so waking the flop on data activity would only
+        // burn no-op evaluations. `d` is still read at the edge.
+        let mut ins = vec![clk];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
         self.sim.connect_driver(id, q).expect("fresh dff output already driven");
@@ -273,8 +279,8 @@ impl<'a> CircuitBuilder<'a> {
         clk: SignalId,
         rstn: Option<SignalId>,
     ) {
-        let width = self.sim.signal_info(d).width;
-        assert_eq!(self.sim.signal_info(q).width, width, "dff_into width mismatch");
+        let width = self.sim.signal_width(d);
+        assert_eq!(self.sim.signal_width(q), width, "dff_into width mismatch");
         let p = self.account(CellKind::Dff, width);
         let comp = Dff::new(d, clk, rstn, q, width, p.delay);
         let mut ins = vec![d, clk];
@@ -323,8 +329,8 @@ impl<'a> CircuitBuilder<'a> {
     ///
     /// Panics if `out` already has a driver or widths mismatch.
     pub fn buf_into(&mut self, name: &str, out: SignalId, src: SignalId) {
-        let width = self.sim.signal_info(src).width;
-        assert_eq!(self.sim.signal_info(out).width, width, "buf_into width mismatch");
+        let width = self.sim.signal_width(src);
+        assert_eq!(self.sim.signal_width(out), width, "buf_into width mismatch");
         let p = self.account(CellKind::Buf, width);
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, p.delay);
         let id = self.sim.add_component(name, comp, &[src]);
@@ -347,7 +353,7 @@ impl<'a> CircuitBuilder<'a> {
         rstn: Option<SignalId>,
         init: bool,
     ) {
-        assert_eq!(self.sim.signal_info(out).width, 1, "C-element output must be 1 bit");
+        assert_eq!(self.sim.signal_width(out), 1, "C-element output must be 1 bit");
         let p = self.account(CellKind::CElement(inputs.len() as u8), 1);
         let comp = CElement::new(inputs.to_vec(), rstn, out, p.delay, init);
         let mut ins = inputs.to_vec();
@@ -393,7 +399,7 @@ impl<'a> CircuitBuilder<'a> {
         rstn: Option<SignalId>,
         init: bool,
     ) {
-        assert_eq!(self.sim.signal_info(out).width, 1, "David cell output must be 1 bit");
+        assert_eq!(self.sim.signal_width(out), 1, "David cell output must be 1 bit");
         let p = self.account(CellKind::DavidCell, 1);
         let comp = DavidCell::new(set, clr, rstn, out, p.delay, init);
         let mut ins = vec![set, clr];
@@ -471,7 +477,7 @@ impl<'a> CircuitBuilder<'a> {
     /// (no area, no energy).
     pub fn concat(&mut self, name: &str, parts: &[SignalId]) -> SignalId {
         assert!(!parts.is_empty(), "concat of nothing");
-        let width: u8 = parts.iter().map(|&p| self.sim.signal_info(p).width).sum();
+        let width: u8 = parts.iter().map(|&p| self.sim.signal_width(p)).sum();
         let out = self.sim.add_signal(name, width);
         let comp = crate::comb::ConcatWire::new(parts.to_vec(), out);
         let id = self.sim.add_component(name, comp, parts);
@@ -490,7 +496,7 @@ impl<'a> CircuitBuilder<'a> {
         delay: Time,
         energy_fj: f64,
     ) -> SignalId {
-        let width = self.sim.signal_info(src).width;
+        let width = self.sim.signal_width(src);
         let out = self.sim.add_signal(name, width);
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
         let id = self.sim.add_component(name, comp, &[src]);
@@ -514,8 +520,8 @@ impl<'a> CircuitBuilder<'a> {
         delay: Time,
         energy_fj: f64,
     ) {
-        let width = self.sim.signal_info(src).width;
-        assert_eq!(self.sim.signal_info(out).width, width, "transport width mismatch");
+        let width = self.sim.signal_width(src);
+        assert_eq!(self.sim.signal_width(out), width, "transport width mismatch");
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
         let id = self.sim.add_component(name, comp, &[src]);
         self.sim.connect_driver(id, out).expect("transport_into target already driven");

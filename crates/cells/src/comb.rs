@@ -32,7 +32,11 @@ pub enum GateOp {
 #[derive(Debug)]
 pub struct Gate {
     op: GateOp,
-    inputs: Vec<SignalId>,
+    /// Input signals, stored inline: the constructor caps gates at 4
+    /// inputs, and keeping them out of a separate heap allocation
+    /// saves a dependent load on every evaluation of the hot loop.
+    inputs: [SignalId; 4],
+    n_inputs: u8,
     out: SignalId,
     width: u8,
     delay: Time,
@@ -54,7 +58,9 @@ impl Gate {
             _ => (2..=4).contains(&n),
         };
         assert!(ok, "gate {op:?} cannot have {n} inputs");
-        Gate { op, inputs, out, width, delay }
+        let mut arr = [out; 4]; // placeholder; only ..n is ever read
+        arr[..n].copy_from_slice(&inputs);
+        Gate { op, inputs: arr, n_inputs: n as u8, out, width, delay }
     }
 
     fn broadcast(v: Value, width: u8) -> Value {
@@ -74,17 +80,37 @@ impl Gate {
 impl Component for Gate {
     fn on_input(&mut self, ctx: &mut Ctx<'_>) {
         let w = self.width;
-        let mut it = self.inputs.iter().map(|&s| Self::broadcast(ctx.read(s), w));
-        let first = it.next().expect("gate with no inputs");
-        let v = match self.op {
-            GateOp::Buf => first,
-            GateOp::Inv => first.not(),
-            GateOp::And => it.fold(first, |a, b| a.and(&b)),
-            GateOp::Or => it.fold(first, |a, b| a.or(&b)),
-            GateOp::Nand => it.fold(first, |a, b| a.and(&b)).not(),
-            GateOp::Nor => it.fold(first, |a, b| a.or(&b)).not(),
-            GateOp::Xor => it.fold(first, |a, b| a.xor(&b)),
-            GateOp::Xnor => it.fold(first, |a, b| a.xor(&b)).not(),
+        let n = self.n_inputs as usize;
+        let first = Self::broadcast(ctx.read(self.inputs[0]), w);
+        // One- and two-input gates are the bulk of every netlist in
+        // this repository; give them straight-line paths instead of
+        // the generic fold.
+        let v = if n == 1 {
+            match self.op {
+                GateOp::Buf => first,
+                GateOp::Inv => first.not(),
+                _ => unreachable!("multi-input op with one input"),
+            }
+        } else if n == 2 {
+            let b = Self::broadcast(ctx.read(self.inputs[1]), w);
+            match self.op {
+                GateOp::And => first.and(&b),
+                GateOp::Or => first.or(&b),
+                GateOp::Nand => first.and(&b).not(),
+                GateOp::Nor => first.or(&b).not(),
+                GateOp::Xor => first.xor(&b),
+                GateOp::Xnor => first.xor(&b).not(),
+                GateOp::Buf | GateOp::Inv => unreachable!("1-input op with two inputs"),
+            }
+        } else {
+            let it = self.inputs[1..n].iter().map(|&s| Self::broadcast(ctx.read(s), w));
+            match self.op {
+                GateOp::And => it.fold(first, |a, b| a.and(&b)),
+                GateOp::Or => it.fold(first, |a, b| a.or(&b)),
+                GateOp::Nand => it.fold(first, |a, b| a.and(&b)).not(),
+                GateOp::Nor => it.fold(first, |a, b| a.or(&b)).not(),
+                _ => unreachable!("op {:?} cannot have {n} inputs", self.op),
+            }
         };
         ctx.drive(self.out, v, self.delay);
     }

@@ -58,6 +58,7 @@ impl Ctx<'_> {
     }
 
     /// The committed value of a signal.
+    #[inline]
     pub fn read(&self, sig: SignalId) -> Value {
         self.kernel.signals[sig.index()].value
     }
@@ -74,19 +75,22 @@ impl Ctx<'_> {
     ///
     /// # Panics
     ///
-    /// Panics if this component is not the registered driver of `sig`,
-    /// or if the value width does not match the signal width. Both are
-    /// netlist construction bugs.
+    /// In debug builds, panics if this component is not the registered
+    /// driver of `sig`, or if the value width does not match the
+    /// signal width. Both are netlist construction bugs and both are
+    /// deterministic — they cannot depend on simulation inputs — so
+    /// release builds skip the checks in this hottest of paths.
+    #[inline]
     pub fn drive(&mut self, sig: SignalId, value: Value, delay: Time) {
         let state = &mut self.kernel.signals[sig.index()];
-        assert_eq!(
+        debug_assert_eq!(
             state.driver,
             Some(self.comp),
             "component {:?} drove signal '{}' without being its registered driver",
             self.comp,
             state.name
         );
-        assert_eq!(
+        debug_assert_eq!(
             state.width,
             value.width(),
             "signal '{}' has width {} but was driven with width {}",
@@ -111,7 +115,7 @@ impl Ctx<'_> {
         state.pending_value = value;
         let epoch = state.drive_epoch;
         let t = self.kernel.now + delay;
-        self.kernel.queue.push(t, EventKind::Drive { signal: sig, value, epoch });
+        self.kernel.queue.push(t, EventKind::Drive { signal: sig, epoch });
     }
 
     /// Schedules an [`Component::on_wake`] callback for this component

@@ -76,8 +76,8 @@ impl ScopeTree {
         ScopePath(self.paths[id.0 as usize].clone())
     }
 
-    pub fn len(&self) -> usize {
-        self.names.len()
+    pub fn path_str(&self, id: ScopeId) -> &str {
+        &self.paths[id.0 as usize]
     }
 
     /// All scope ids whose path is `prefix` or nested beneath it.

@@ -53,6 +53,10 @@ pub(crate) struct SignalState {
     pub pending_value: Value,
     /// Energy charged per bit toggle (set by the technology annotator).
     pub energy_per_toggle_fj: f64,
+    /// Toggle count at the last energy fold point: toggles accrued
+    /// beyond this have not yet been converted into scope energy (the
+    /// conversion happens lazily, off the commit hot path).
+    pub toggles_energy_base: u64,
 }
 
 impl SignalState {
@@ -70,6 +74,7 @@ impl SignalState {
             pending: false,
             pending_value: Value::all_x(width),
             energy_per_toggle_fj: 0.0,
+            toggles_energy_base: 0,
         }
     }
 }

@@ -32,7 +32,19 @@ pub(crate) struct Kernel {
     pub now: Time,
     /// Scope of each component, indexed by `ComponentId`.
     pub comp_scopes: Vec<ScopeId>,
-    /// Accumulated switching + internal energy per scope, femtojoules.
+    /// Evaluation-pending stamp of each component, indexed by
+    /// `ComponentId`: holds the id of the delta batch that last queued
+    /// the component, so a component fed by several signals committing
+    /// at one timestamp is evaluated once per delta, not once per
+    /// driving signal.
+    pub comp_stamp: Vec<u64>,
+    /// Per-scope energy accumulator, femtojoules. Holds component
+    /// internal energy ([`Ctx::add_energy_fj`]) plus switching energy
+    /// *folded in* from the per-signal toggle counters at fold points
+    /// (energy/toggle resets, per-toggle-energy changes). Live totals
+    /// are derived by adding each signal's un-folded toggles × energy
+    /// — see [`Simulator::scope_energies_fj`] — which keeps the commit
+    /// hot path free of floating-point accumulation.
     pub scope_energy_fj: Vec<f64>,
     /// Committed-change trace for VCD export, if enabled.
     pub trace: Option<Vec<(Time, SignalId, Value)>>,
@@ -45,12 +57,20 @@ pub(crate) struct Kernel {
 /// and a complete example.
 pub struct Simulator {
     kernel: Kernel,
-    comps: Vec<Option<Box<dyn Component>>>,
+    comps: Vec<Box<dyn Component>>,
     comp_names: Vec<String>,
     scopes: ScopeTree,
     scope_stack: Vec<ScopeId>,
     config: SimConfig,
     events_processed: u64,
+    /// Monotone id of the delta batch being processed; pairs with
+    /// `Kernel::comp_stamp` to dedup evaluations. Starts at 1 so the
+    /// zero-initialised stamps never match.
+    delta_seq: u64,
+    /// Scratch list of components awaiting evaluation in the current
+    /// delta, in first-trigger order. Kept allocated across deltas so
+    /// the steady-state event loop performs no heap allocation.
+    pending_evals: Vec<ComponentId>,
 }
 
 impl Default for Simulator {
@@ -85,6 +105,7 @@ impl Simulator {
                 queue: EventQueue::new(),
                 now: Time::ZERO,
                 comp_scopes: Vec::new(),
+                comp_stamp: Vec::new(),
                 scope_energy_fj: vec![0.0],
                 trace,
             },
@@ -94,6 +115,8 @@ impl Simulator {
             scope_stack: vec![ScopeId::ROOT],
             config,
             events_processed: 0,
+            delta_seq: 1,
+            pending_evals: Vec::new(),
         }
     }
 
@@ -155,12 +178,18 @@ impl Simulator {
         inputs: &[SignalId],
     ) -> ComponentId {
         let id = ComponentId(self.comps.len() as u32);
-        self.comps.push(Some(Box::new(comp)));
+        self.comps.push(Box::new(comp));
         self.comp_names.push(name.to_string());
         self.kernel.comp_scopes.push(self.current_scope());
+        self.kernel.comp_stamp.push(0);
         for &sig in inputs {
             let fanout = &mut self.kernel.signals[sig.index()].fanout;
-            if !fanout.contains(&id) {
+            // Component ids are handed out monotonically and each
+            // component registers all its inputs in one call, so a
+            // duplicate (the same signal listed twice in `inputs`) can
+            // only ever be the last entry — an O(1) check instead of a
+            // linear scan, keeping netlist construction O(n).
+            if fanout.last() != Some(&id) {
                 fanout.push(id);
             }
         }
@@ -204,8 +233,15 @@ impl Simulator {
                 self.kernel.signals[sig.index()].name
             );
         }
-        let comp = Stimulus { sig, schedule: schedule.to_vec(), next: 0 };
-        let id = self.add_component("stimulus", comp, &[]);
+        let width = self.kernel.signals[sig.index()].width;
+        let comp =
+            Stimulus { sig, schedule: schedule.to_vec(), next: 0, cur: Value::all_x(width) };
+        // The stimulus listens to its *own* signal: each commit calls
+        // it back, and it responds by scheduling the next entry as one
+        // delayed drive. Steady state is one event per schedule entry,
+        // instead of the wake + zero-delay-drive pair a timer-driven
+        // stimulus would cost.
+        let id = self.add_component("stimulus", comp, &[sig]);
         self.connect_driver(id, sig).expect("stimulus target already driven");
         if !schedule.is_empty() {
             self.kernel.queue.push(schedule[0].0, EventKind::Wake { comp: id });
@@ -263,6 +299,49 @@ impl Simulator {
         self.events_processed
     }
 
+    /// The width of a signal in bits, without the name/path assembly
+    /// of [`Simulator::signal_info`] — netlist builders call this for
+    /// every port of every cell.
+    #[inline]
+    pub fn signal_width(&self, sig: SignalId) -> u8 {
+        self.kernel.signals[sig.index()].width
+    }
+
+    /// The dotted path of a scope as a borrowed string (the allocating
+    /// variant is [`Simulator::scope_path`]).
+    pub fn scope_path_str(&self, id: ScopeId) -> &str {
+        self.scopes.path_str(id)
+    }
+
+    /// Per-scope accumulated energy in femtojoules, indexed by scope
+    /// id. A cheap snapshot for differential power measurements; use
+    /// [`Simulator::energy_report`] for the path-labelled view.
+    pub fn scope_energies_fj(&self) -> Vec<f64> {
+        let mut out = self.kernel.scope_energy_fj.clone();
+        for st in &self.kernel.signals {
+            let unfolded = st.toggles - st.toggles_energy_base;
+            if unfolded != 0 {
+                out[st.scope.0 as usize] += unfolded as f64 * st.energy_per_toggle_fj;
+            }
+        }
+        out
+    }
+
+    /// Converts the switching energy `sig` has accrued since its last
+    /// fold into scope energy and rebases the counter. Must run before
+    /// anything changes the signal's per-toggle energy or resets its
+    /// toggle counter, so already-earned energy keeps the rate it was
+    /// earned at.
+    fn fold_signal_energy(&mut self, sig: SignalId) {
+        let st = &mut self.kernel.signals[sig.index()];
+        let unfolded = st.toggles - st.toggles_energy_base;
+        if unfolded != 0 {
+            self.kernel.scope_energy_fj[st.scope.0 as usize] +=
+                unfolded as f64 * st.energy_per_toggle_fj;
+        }
+        st.toggles_energy_base = st.toggles;
+    }
+
     /// Full metadata and statistics for a signal.
     pub fn signal_info(&self, sig: SignalId) -> SignalInfo {
         let s = &self.kernel.signals[sig.index()];
@@ -298,12 +377,14 @@ impl Simulator {
     /// Sets the energy charged per bit toggle of `sig`, in femtojoules.
     /// Called by the technology annotator after netlist construction.
     pub fn set_signal_energy(&mut self, sig: SignalId, fj_per_toggle: f64) {
+        self.fold_signal_energy(sig);
         self.kernel.signals[sig.index()].energy_per_toggle_fj = fj_per_toggle;
     }
 
     /// Adds to the energy charged per bit toggle of `sig` (e.g. extra
     /// wire load discovered after the driving cell was created).
     pub fn add_signal_energy(&mut self, sig: SignalId, fj_per_toggle: f64) {
+        self.fold_signal_energy(sig);
         self.kernel.signals[sig.index()].energy_per_toggle_fj += fj_per_toggle;
     }
 
@@ -324,10 +405,13 @@ impl Simulator {
     /// Switching + internal energy accumulated per scope since the last
     /// [`Simulator::reset_energy`], rolled up into an [`EnergyReport`].
     pub fn energy_report(&self) -> EnergyReport {
-        let per_scope: Vec<ScopeEnergy> = (0..self.scopes.len())
-            .map(|i| ScopeEnergy {
+        let energies = self.scope_energies_fj();
+        let per_scope: Vec<ScopeEnergy> = energies
+            .into_iter()
+            .enumerate()
+            .map(|(i, energy_fj)| ScopeEnergy {
                 path: self.scopes.path(ScopeId(i as u32)).as_str().to_string(),
-                energy_fj: self.kernel.scope_energy_fj[i],
+                energy_fj,
             })
             .collect();
         EnergyReport { scopes: per_scope, sim_time: self.kernel.now }
@@ -335,11 +419,8 @@ impl Simulator {
 
     /// Energy (femtojoules) of a scope subtree selected by path prefix.
     pub fn subtree_energy_fj(&self, prefix: &str) -> f64 {
-        self.scopes
-            .subtree(prefix)
-            .into_iter()
-            .map(|s| self.kernel.scope_energy_fj[s.0 as usize])
-            .sum()
+        let energies = self.scope_energies_fj();
+        self.scopes.subtree(prefix).into_iter().map(|s| energies[s.0 as usize]).sum()
     }
 
     /// Clears all accumulated energy (e.g. after a warm-up phase, so a
@@ -348,12 +429,20 @@ impl Simulator {
         for e in &mut self.kernel.scope_energy_fj {
             *e = 0.0;
         }
+        for s in &mut self.kernel.signals {
+            s.toggles_energy_base = s.toggles;
+        }
     }
 
-    /// Clears all per-signal toggle counters.
+    /// Clears all per-signal toggle counters (energy already earned by
+    /// those toggles is preserved).
     pub fn reset_toggles(&mut self) {
+        for id in 0..self.kernel.signals.len() as u32 {
+            self.fold_signal_energy(SignalId(id));
+        }
         for s in &mut self.kernel.signals {
             s.toggles = 0;
+            s.toggles_energy_base = 0;
         }
     }
 
@@ -388,18 +477,15 @@ impl Simulator {
     /// budget is exhausted (runaway oscillation).
     pub fn run_until(&mut self, horizon: Time) -> SimResult<Time> {
         let mut processed: u64 = 0;
-        while let Some(t) = self.kernel.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            processed += 1;
+        while let Some(ev) = self.kernel.queue.pop_at_or_before(horizon) {
+            processed += self.step_delta(ev);
             if processed > self.config.max_events {
+                self.events_processed += processed;
                 return Err(SimError::EventLimitExceeded {
                     at: self.kernel.now,
                     limit: self.config.max_events,
                 });
             }
-            self.step_one();
         }
         self.events_processed += processed;
         // Advance to the horizon even if the queue went quiet earlier.
@@ -429,75 +515,211 @@ impl Simulator {
         self.run_until(Time::MAX)
     }
 
-    fn step_one(&mut self) {
-        let ev = self.kernel.queue.pop().expect("step_one on empty queue");
+    /// Processes one delta: a single wake, or a maximal run of
+    /// consecutive same-timestamp drive commits followed by exactly
+    /// one evaluation of every component in their combined fanout.
+    /// Returns the number of events consumed.
+    ///
+    /// Batching the commits first and deduplicating the evaluations
+    /// matches HDL delta-cycle semantics — a process fed by several
+    /// signals that change in the same delta runs once, seeing all of
+    /// them at their new values — and removes both the per-commit
+    /// fanout clone and the redundant re-evaluations from the hot
+    /// loop. The scratch buffer and stamps make the steady state
+    /// allocation-free.
+    fn step_delta(&mut self, ev: crate::event::Event) -> u64 {
         self.kernel.now = ev.time;
+        let mut consumed = 1;
         match ev.kind {
             EventKind::Wake { comp } => self.eval(comp, true),
-            EventKind::Drive { signal, value, epoch } => {
-                let st = &mut self.kernel.signals[signal.index()];
-                if epoch != st.drive_epoch {
-                    return; // superseded (inertial cancellation)
+            EventKind::Drive { .. } => {
+                debug_assert!(self.pending_evals.is_empty());
+                // Probe for a same-time burst *before* committing —
+                // commits never touch the queue, so holding the second
+                // event is safe. Knowing the delta is a singleton (the
+                // overwhelming majority of gate-level activity) lets
+                // the fanout walk skip the dedup stamps: a component
+                // appears at most once in a single signal's fanout.
+                match self.kernel.queue.pop_drive_at(self.kernel.now) {
+                    None => self.commit_drive_lone(ev),
+                    Some(second) => {
+                        consumed += 1;
+                        let delta = self.delta_seq;
+                        self.delta_seq += 1;
+                        self.commit_drive(ev, delta);
+                        let mut next = Some(second);
+                        while let Some(cur) = next {
+                            self.commit_drive(cur, delta);
+                            next = self.kernel.queue.pop_drive_at(self.kernel.now);
+                            if next.is_some() {
+                                consumed += 1;
+                            }
+                        }
+                    }
                 }
-                st.pending = false;
-                if st.value == value {
-                    return;
-                }
-                let toggles = st.value.toggles_to(&value);
-                st.toggles += toggles as u64;
-                st.value = value;
-                st.last_change = ev.time;
-                let scope = st.scope;
-                let energy = toggles as f64 * st.energy_per_toggle_fj;
-                self.kernel.scope_energy_fj[scope.0 as usize] += energy;
-                if let Some(trace) = &mut self.kernel.trace {
-                    trace.push((ev.time, signal, value));
-                }
-                let fanout = self.kernel.signals[signal.index()].fanout.clone();
-                for comp in fanout {
+                // Index loop rather than iterator: `eval` needs `&mut
+                // self`, and nothing reachable from a component can
+                // touch `pending_evals` (components only see the
+                // kernel through their `Ctx`), so the list is stable
+                // during the drain.
+                let mut i = 0;
+                while i < self.pending_evals.len() {
+                    let comp = self.pending_evals[i];
+                    i += 1;
                     self.eval(comp, false);
                 }
+                self.pending_evals.clear();
             }
+        }
+        consumed
+    }
+
+    /// Applies one drive event: commits the value change (toggles,
+    /// energy, trace) and queues the signal's fanout for evaluation,
+    /// skipping components already queued in this delta.
+    fn commit_drive(&mut self, ev: crate::event::Event, delta: u64) {
+        let EventKind::Drive { signal, epoch } = ev.kind else {
+            unreachable!("commit_drive on non-drive event");
+        };
+        let kernel = &mut self.kernel;
+        let st = &mut kernel.signals[signal.index()];
+        if epoch != st.drive_epoch {
+            return; // superseded (inertial cancellation)
+        }
+        st.pending = false;
+        // The event matched the signal's current drive epoch, so the
+        // value it was scheduled with is exactly `pending_value`.
+        let value = st.pending_value;
+        if st.value == value {
+            return;
+        }
+        let toggles = st.value.toggles_to(&value);
+        st.toggles += toggles as u64;
+        st.value = value;
+        st.last_change = ev.time;
+        // Switching energy is *not* accumulated here: it is derived
+        // lazily from the toggle counter (see `scope_energies_fj`),
+        // keeping f64 traffic off the commit hot path.
+        if let Some(trace) = &mut kernel.trace {
+            trace.push((ev.time, signal, value));
+        }
+        for &comp in &st.fanout {
+            let stamp = &mut kernel.comp_stamp[comp.index()];
+            if *stamp != delta {
+                *stamp = delta;
+                self.pending_evals.push(comp);
+            }
+        }
+    }
+
+    /// [`Simulator::commit_drive`] specialised for a singleton delta
+    /// (no other commit at this timestamp): with a single committed
+    /// signal the dedup stamps cannot reject anything — a component
+    /// appears at most once in one signal's fanout — so the fanout is
+    /// either evaluated directly (the ubiquitous single-listener wire)
+    /// or bulk-copied into the scratch list.
+    fn commit_drive_lone(&mut self, ev: crate::event::Event) {
+        let EventKind::Drive { signal, epoch } = ev.kind else {
+            unreachable!("commit_drive on non-drive event");
+        };
+        let kernel = &mut self.kernel;
+        let st = &mut kernel.signals[signal.index()];
+        if epoch != st.drive_epoch {
+            return; // superseded (inertial cancellation)
+        }
+        st.pending = false;
+        // The event matched the signal's current drive epoch, so the
+        // value it was scheduled with is exactly `pending_value`.
+        let value = st.pending_value;
+        if st.value == value {
+            return;
+        }
+        let toggles = st.value.toggles_to(&value);
+        st.toggles += toggles as u64;
+        st.value = value;
+        st.last_change = ev.time;
+        if let Some(trace) = &mut kernel.trace {
+            trace.push((ev.time, signal, value));
+        }
+        if let &[comp] = st.fanout.as_slice() {
+            self.eval(comp, false);
+        } else {
+            self.pending_evals.extend_from_slice(&st.fanout);
         }
     }
 
     fn eval(&mut self, comp: ComponentId, wake: bool) {
-        let mut boxed = self.comps[comp.index()]
-            .take()
-            .expect("re-entrant component evaluation");
-        {
-            let mut ctx = Ctx { kernel: &mut self.kernel, comp };
-            if wake {
-                boxed.on_wake(&mut ctx);
-            } else {
-                boxed.on_input(&mut ctx);
-            }
+        // `comps` and `kernel` are disjoint fields, and a component
+        // only sees the kernel through its `Ctx` — it can never reach
+        // back into the component list — so the component can be
+        // called in place, with no take/put of its box.
+        let boxed = &mut self.comps[comp.index()];
+        let mut ctx = Ctx { kernel: &mut self.kernel, comp };
+        if wake {
+            boxed.on_wake(&mut ctx);
+        } else {
+            boxed.on_input(&mut ctx);
         }
-        self.comps[comp.index()] = Some(boxed);
     }
 }
 
 /// Drives a fixed schedule of values onto one signal.
+///
+/// After the initial wake the stimulus is self-chaining: it sits in
+/// its own signal's fanout, and each commit of an entry triggers the
+/// delayed drive of the next one. A timer wake is only needed to hop
+/// over entries that repeat the current value (their drive is a no-op
+/// and produces no commit to chain from).
 struct Stimulus {
     sig: SignalId,
     schedule: Vec<(Time, Value)>,
     next: usize,
+    /// Value of the latest drive issued (committed or in flight); the
+    /// signal itself starts all-X.
+    cur: Value,
+}
+
+impl Stimulus {
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // Commit everything due now with zero delay. Several entries
+        // at the same timestamp supersede each other through the
+        // inertial epoch, so the last one wins, as before.
+        let mut issued = false;
+        while self.next < self.schedule.len() && self.schedule[self.next].0 <= now {
+            let (_, v) = self.schedule[self.next];
+            self.next += 1;
+            if v != self.cur {
+                ctx.drive(self.sig, v, Time::ZERO);
+                self.cur = v;
+                issued = true;
+            }
+        }
+        if issued {
+            // The zero-delay commit calls `on_input`, continuing the
+            // chain at this same timestamp.
+            return;
+        }
+        let Some(&(t, v)) = self.schedule.get(self.next) else {
+            return;
+        };
+        if v != self.cur {
+            ctx.drive(self.sig, v, t - now);
+            self.cur = v;
+            self.next += 1;
+        } else {
+            ctx.wake_after(t - now);
+        }
+    }
 }
 
 impl Component for Stimulus {
-    fn on_input(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn on_input(&mut self, ctx: &mut Ctx<'_>) {
+        self.step(ctx);
+    }
 
     fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
-        while self.next < self.schedule.len() && self.schedule[self.next].0 <= ctx.now() {
-            let (_, v) = self.schedule[self.next];
-            ctx.drive(self.sig, v, Time::ZERO);
-            self.next += 1;
-        }
-        if self.next < self.schedule.len() {
-            let t = self.schedule[self.next].0;
-            let now = ctx.now();
-            ctx.wake_after(t - now);
-        }
+        self.step(ctx);
     }
 }
 

@@ -153,6 +153,7 @@ impl Value {
     }
 
     /// The declared width in bits.
+    #[inline]
     pub fn width(&self) -> u8 {
         self.width
     }
@@ -208,11 +209,13 @@ impl Value {
     }
 
     /// True if this is a 1-bit known `1`.
+    #[inline]
     pub fn is_high(&self) -> bool {
         self.width == 1 && self.x == 0 && self.bits == 1
     }
 
     /// True if this is a 1-bit known `0`.
+    #[inline]
     pub fn is_low(&self) -> bool {
         self.width == 1 && self.x == 0 && self.bits == 0
     }
@@ -251,6 +254,7 @@ impl Value {
     }
 
     /// Bitwise NOT with X propagation.
+    #[inline]
     pub fn not(&self) -> Value {
         let m = Self::mask(self.width);
         Value { width: self.width, bits: !self.bits & m & !self.x, x: self.x }
@@ -265,6 +269,7 @@ impl Value {
     /// # Panics
     ///
     /// Panics on width mismatch.
+    #[inline]
     pub fn and(&self, other: &Value) -> Value {
         self.check_width(other);
         let zero_a = !self.bits & !self.x;
@@ -279,6 +284,7 @@ impl Value {
     /// # Panics
     ///
     /// Panics on width mismatch.
+    #[inline]
     pub fn or(&self, other: &Value) -> Value {
         self.check_width(other);
         let one_a = self.bits & !self.x;
@@ -292,6 +298,7 @@ impl Value {
     /// # Panics
     ///
     /// Panics on width mismatch.
+    #[inline]
     pub fn xor(&self, other: &Value) -> Value {
         self.check_width(other);
         let x = self.x | other.x;
@@ -326,6 +333,7 @@ impl Value {
     /// # Panics
     ///
     /// Panics on width mismatch.
+    #[inline]
     pub fn toggles_to(&self, next: &Value) -> u32 {
         self.check_width(next);
         let x_change = self.x ^ next.x;

@@ -66,6 +66,9 @@ pub struct LinkRun {
     pub area: AreaLedger,
     /// Root scope of the link.
     pub scope: String,
+    /// Kernel events processed over the whole run (netlist activity
+    /// metric; useful for throughput accounting in benchmarks).
+    pub events: u64,
 }
 
 impl LinkRun {
@@ -265,6 +268,7 @@ pub fn run_flits(
         clock_power,
         area,
         scope: handles.scope,
+        events: sim.events_processed(),
     }
 }
 

@@ -51,7 +51,7 @@ pub fn build_skid_stage(
     let w = {
         // Width of the bus including its valid MSB.
         let sim = b.sim();
-        sim.signal_info(data_in).width
+        sim.signal_width(data_in)
     };
     let m = w - 1;
     let valid = b.slice("valid_in", data_in, m, 1);

@@ -1,0 +1,107 @@
+//! Golden-replay determinism: a full gate-level link run must
+//! reproduce *byte-identical* kernel state — event count, every final
+//! signal value and toggle count, and every per-scope energy total —
+//! against a fixture checked into the repository.
+//!
+//! This pins the kernel's (time, seq) ordering contract across
+//! refactors of the event queue and commit path: any change that
+//! reorders same-timestamp commits, drops or duplicates evaluations,
+//! or perturbs energy accounting shows up as a one-line diff here.
+//!
+//! Regenerate the fixture (after an *intentional* behaviour change)
+//! with:
+//!
+//! ```text
+//! SAL_UPDATE_GOLDEN=1 cargo test -p sal-link --test golden_replay
+//! ```
+
+use sal_cells::CircuitBuilder;
+use sal_des::{Simulator, Time, Value};
+use sal_link::measure::MeasureOptions;
+use sal_link::testbench::{
+    attach_sync_sink, attach_sync_source, worst_case_pattern, SyncFlitSink, SyncFlitSource,
+};
+use sal_link::{build_link, LinkConfig, LinkKind};
+use std::fmt::Write as _;
+
+/// Runs one link end to end and serialises the final kernel state.
+/// Energies are printed as `f64::to_bits` hex so the comparison is
+/// bit-exact, immune to formatting rounding.
+fn replay(kind: LinkKind) -> String {
+    let cfg = LinkConfig::default();
+    let opts = MeasureOptions::default();
+    let words = worst_case_pattern(4, 32);
+    let mut sim = Simulator::new();
+    let mut builder = CircuitBuilder::new(&mut sim, &opts.lib);
+    let handles = build_link(&mut builder, kind, "link", &cfg);
+    let _area = builder.finish();
+    sim.stimulus(
+        handles.rstn,
+        &[(Time::ZERO, Value::zero(1)), (Time::from_ns(2), Value::one(1))],
+    );
+    let (src, _sent) = SyncFlitSource::new(
+        handles.clk,
+        handles.stall_out,
+        handles.flit_in,
+        handles.valid_in,
+        cfg.flit_width,
+        words.clone(),
+    );
+    let src = src.with_rstn(handles.rstn);
+    attach_sync_source(&mut sim, "tb_src", src, Time::ZERO);
+    let (snk, received) = SyncFlitSink::new(
+        handles.clk,
+        handles.valid_out,
+        handles.flit_out,
+        handles.stall_in,
+    );
+    attach_sync_sink(&mut sim, "tb_snk", snk, Time::ZERO);
+    let slice = cfg.clk_period * 32;
+    while received.borrow().len() < words.len() {
+        sim.run_for(slice).expect("simulation error");
+    }
+    let mut out = String::new();
+    writeln!(out, "kind={kind:?}").unwrap();
+    writeln!(out, "time_fs={}", sim.now().as_fs()).unwrap();
+    writeln!(out, "events={}", sim.events_processed()).unwrap();
+    for sig in sim.signal_ids() {
+        let info = sim.signal_info(sig);
+        writeln!(
+            out,
+            "signal {} value={:?} toggles={}",
+            info.path, info.value, info.toggles
+        )
+        .unwrap();
+    }
+    for s in sim.energy_report().scopes {
+        writeln!(out, "scope {} energy_fj={:016x}", s.path, s.energy_fj.to_bits()).unwrap();
+    }
+    out
+}
+
+#[test]
+fn golden_replay_i2_and_i3() {
+    let mut full = String::new();
+    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        full.push_str(&replay(kind));
+        full.push('\n');
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/replay.txt");
+    if std::env::var("SAL_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &full).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden fixture missing; regenerate with SAL_UPDATE_GOLDEN=1");
+    assert_eq!(
+        full, expected,
+        "link replay diverged from the golden fixture \
+         (SAL_UPDATE_GOLDEN=1 regenerates it if the change is intentional)"
+    );
+}
+
+#[test]
+fn replay_is_deterministic_within_process() {
+    assert_eq!(replay(LinkKind::I2PerTransfer), replay(LinkKind::I2PerTransfer));
+    assert_eq!(replay(LinkKind::I3PerWord), replay(LinkKind::I3PerWord));
+}

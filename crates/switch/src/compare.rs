@@ -6,8 +6,8 @@ use sal_des::SignalId;
 /// Builds `a == b` for two equal-width buses (≤ 8 bits) as XNOR per
 /// bit reduced through an AND tree. Returns the 1-bit result.
 pub fn equal(b: &mut CircuitBuilder<'_>, name: &str, a: SignalId, bb: SignalId) -> SignalId {
-    let w = b.sim().signal_info(a).width;
-    assert_eq!(w, b.sim().signal_info(bb).width, "comparator width mismatch");
+    let w = b.sim().signal_width(a);
+    assert_eq!(w, b.sim().signal_width(bb), "comparator width mismatch");
     assert!(w <= 8, "comparator sized for coordinate fields");
     let bits: Vec<SignalId> = (0..w)
         .map(|i| {
@@ -23,8 +23,8 @@ pub fn equal(b: &mut CircuitBuilder<'_>, name: &str, a: SignalId, bb: SignalId) 
 /// the classic ripple expansion: `gt = Σ_i (a_i ∧ ¬b_i ∧ eq_{above i})`.
 /// Returns the 1-bit result.
 pub fn greater(b: &mut CircuitBuilder<'_>, name: &str, a: SignalId, bb: SignalId) -> SignalId {
-    let w = b.sim().signal_info(a).width;
-    assert_eq!(w, b.sim().signal_info(bb).width, "comparator width mismatch");
+    let w = b.sim().signal_width(a);
+    assert_eq!(w, b.sim().signal_width(bb), "comparator width mismatch");
     assert!(w <= 8, "comparator sized for coordinate fields");
     let mut terms = Vec::new();
     // eq_above accumulates equality of all bits above position i.

@@ -68,7 +68,7 @@ pub fn build_mesh_fabric(
     // Tie off the unused mesh-edge ports.
     let zero_flit = b.tie("zero_flit", Value::zero(m));
     let zero = b.tie("zero", Value::zero(1));
-    let mut tie_input = |b: &mut CircuitBuilder<'_>, sw: &SwitchPorts, p: usize, i: usize| {
+    let tie_input = |b: &mut CircuitBuilder<'_>, sw: &SwitchPorts, p: usize, i: usize| {
         b.buf_into(&format!("tie_f_{i}_{p}"), sw.flit_in[p], zero_flit);
         b.buf_into(&format!("tie_v_{i}_{p}"), sw.valid_in[p], zero);
         b.buf_into(&format!("tie_s_{i}_{p}"), sw.stall_in[p], zero);
@@ -94,7 +94,7 @@ pub fn build_mesh_fabric(
     // built at the top level (they create their own clock/reset
     // signals there). `connect(from, out_port, to, in_port)` inserts a
     // full gate-level link between two switch ports.
-    let mut connect = |b: &mut CircuitBuilder<'_>,
+    let connect = |b: &mut CircuitBuilder<'_>,
                        rstns: &mut Vec<SignalId>,
                        tag: String,
                        from: usize,

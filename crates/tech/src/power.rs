@@ -1,7 +1,5 @@
 //! Activity-based power estimation.
 
-use std::collections::BTreeMap;
-
 use sal_des::{Simulator, Time};
 
 use crate::St012Library;
@@ -85,18 +83,17 @@ impl PowerBreakdown {
 /// ```
 #[derive(Debug)]
 pub struct PowerMeter {
-    start_fj: BTreeMap<String, f64>,
+    /// Energy ledger at window start, indexed by scope id. Scope paths
+    /// are only materialised at [`PowerMeter::finish`]; scopes created
+    /// after the snapshot start the window at zero energy.
+    start_fj: Vec<f64>,
     start_time: Time,
 }
 
 impl PowerMeter {
     /// Snapshots the energy ledger at the start of the window.
     pub fn start(sim: &Simulator) -> Self {
-        let report = sim.energy_report();
-        PowerMeter {
-            start_fj: report.scopes.into_iter().map(|s| (s.path, s.energy_fj)).collect(),
-            start_time: sim.now(),
-        }
+        PowerMeter { start_fj: sim.scope_energies_fj(), start_time: sim.now() }
     }
 
     /// Ends the window at the simulator's current time and returns the
@@ -112,8 +109,9 @@ impl PowerMeter {
         let scopes = report
             .scopes
             .into_iter()
-            .map(|s| {
-                let delta = s.energy_fj - self.start_fj.get(&s.path).copied().unwrap_or(0.0);
+            .enumerate()
+            .map(|(i, s)| {
+                let delta = s.energy_fj - self.start_fj.get(i).copied().unwrap_or(0.0);
                 // fJ → J is 1e-15; dividing by seconds gives W; ×1e6 → µW.
                 (s.path, delta * 1e-15 / window.as_secs() * 1e6)
             })

@@ -1,0 +1,337 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements the benchmarking surface the workspace uses with honest
+//! wall-clock measurement: per benchmark it runs a warm-up pass, then
+//! times `sample_size` single-invocation samples and reports
+//! min/median/mean. It is deliberately simpler than real criterion (no
+//! outlier analysis, no HTML), but numbers come from `Instant::now`
+//! around the actual workload, so before/after comparisons are sound.
+//!
+//! CLI flags (cargo passes benches extra args when `harness = false`):
+//!
+//! * `--test`  — smoke mode: run every benchmark body once, no timing
+//! * `--bench` — accepted and ignored (cargo always passes it)
+//! * any bare argument — substring filter on benchmark ids
+//!
+//! Set `SAL_BENCH_JSON=<path>` to also write the measured samples as a
+//! JSON baseline artifact (used by CI to track the perf trajectory).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    samples_ns: Vec<u128>,
+}
+
+impl Record {
+    fn median_ns(&self) -> u128 {
+        let mut s = self.samples_ns.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+
+    fn mean_ns(&self) -> u128 {
+        self.samples_ns.iter().sum::<u128>() / self.samples_ns.len() as u128
+    }
+
+    fn min_ns(&self) -> u128 {
+        *self.samples_ns.iter().min().expect("at least one sample")
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Cargo's bench harness protocol flags; no-ops here.
+                "--bench" | "--nocapture" | "--quiet" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { sample_size: 10, test_mode, filter, records: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.to_string(), sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn skipped(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => !id.contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.skipped(&id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher { mode: Mode::Once, samples_ns: Vec::new() };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Warm-up: one untimed pass populates caches and page tables.
+        let mut warm = Bencher { mode: Mode::Once, samples_ns: Vec::new() };
+        f(&mut warm);
+        let mut b = Bencher { mode: Mode::Timed(sample_size), samples_ns: Vec::new() };
+        f(&mut b);
+        let rec = Record { id, samples_ns: b.samples_ns };
+        println!(
+            "{:<40} time: [{} {} {}]  ({} samples)",
+            rec.id,
+            fmt_ns(rec.min_ns()),
+            fmt_ns(rec.median_ns()),
+            fmt_ns(rec.mean_ns()),
+            rec.samples_ns.len(),
+        );
+        self.records.push(rec);
+    }
+
+    /// Writes collected samples as a JSON baseline if
+    /// `SAL_BENCH_JSON` names a path. Called by [`criterion_main!`].
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("SAL_BENCH_JSON") else { return };
+        if self.records.is_empty() {
+            return;
+        }
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples_ns\": {:?}}}{}\n",
+                r.id,
+                r.min_ns(),
+                r.median_ns(),
+                r.mean_ns(),
+                r.samples_ns,
+                if i + 1 == self.records.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("bench baseline written to {path}"),
+            Err(e) => eprintln!("failed to write bench baseline {path}: {e}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(full, n, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(full, n, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark id, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from the parameter's `Display` form.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id from a function name and a parameter.
+    pub fn new<P: Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+enum Mode {
+    /// Run the body once, untimed (warm-up / `--test`).
+    Once,
+    /// Time this many single-invocation samples.
+    Timed(usize),
+}
+
+/// The per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    mode: Mode,
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, timing each invocation.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Once => {
+                black_box(f());
+            }
+            Mode::Timed(samples) => {
+                self.samples_ns.reserve(samples);
+                for _ in 0..samples {
+                    let t0 = Instant::now();
+                    black_box(f());
+                    let dt: Duration = t0.elapsed();
+                    self.samples_ns.push(dt.as_nanos());
+                }
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro (both the plain and the `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() -> $crate::Criterion {
+            let mut c = $config;
+            $($target(&mut c);)+
+            c
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                let c = $group();
+                c.finalize();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_measures_real_work() {
+        let mut c = Criterion { sample_size: 5, test_mode: false, filter: None, records: Vec::new() };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..10_000u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].samples_ns.len(), 5);
+        assert!(c.records[0].min_ns() > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+            filter: Some("keep".into()),
+            records: Vec::new(),
+        };
+        c.bench_function("keep_this", |b| b.iter(|| 1));
+        c.bench_function("drop_this", |b| b.iter(|| 1));
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].id, "keep_this");
+    }
+}

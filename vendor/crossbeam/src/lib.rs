@@ -1,0 +1,120 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the crossbeam 0.8 scoped-thread API (`thread::scope`,
+//! `Scope::spawn`, `ScopedJoinHandle::join`) implemented over
+//! `std::thread::scope`, which has offered equivalent borrowing
+//! guarantees since Rust 1.63. Semantic differences from real
+//! crossbeam are preserved where they matter: `scope` returns `Err`
+//! (instead of unwinding) when a spawned thread panicked without being
+//! joined, and `join` returns the payload of a panicking child.
+
+pub mod thread {
+    //! Scoped threads (crossbeam 0.8 `thread` module surface).
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of joining a thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// The scope handle passed to [`scope`]'s closure and to every
+    /// spawned-thread closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so
+        /// it can spawn further siblings, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread; a panicking thread yields `Err` with
+        /// its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Returns `Err` if a spawned thread
+    /// panicked and its panic was not consumed via `join`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope resumes unwinding if an unjoined child
+        // panicked; catch that to reproduce crossbeam's Err contract.
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn joined_panic_is_captured_not_propagated() {
+        let out = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("worker exploded") });
+            h.join()
+        })
+        .unwrap();
+        let payload = out.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("worker exploded"));
+    }
+
+    #[test]
+    fn unjoined_panic_surfaces_as_scope_error() {
+        let res = thread::scope(|s| {
+            s.spawn(|_| panic!("unjoined"));
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_handle() {
+        let n = thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

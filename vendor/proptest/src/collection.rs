@@ -1,0 +1,51 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A `Vec` whose length is uniform in `len` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "cannot sample empty length range {len:?}");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn length_respects_range() {
+        let s = vec(any::<u32>(), 1..10);
+        let mut rng = TestRng::for_test("vec_len");
+        let mut seen_min = usize::MAX;
+        let mut seen_max = 0;
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            seen_min = seen_min.min(v.len());
+            seen_max = seen_max.max(v.len());
+        }
+        assert_eq!((seen_min, seen_max), (1, 9));
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! reimplements the slice of proptest the test suite uses:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config]`
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`
+//! * strategies for primitive `any`, integer ranges, tuples,
+//!   [`collection::vec`], [`prop_oneof!`] unions and [`strategy::Just`]
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//!
+//! Differences from the real crate: case generation is deterministic
+//! per test name (seeded splitmix64, no entropy), there is no
+//! shrinking, and failure persistence files are ignored. Failing
+//! cases panic with the generated inputs printed so they can be
+//! turned into concrete regression tests by hand.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Generate-and-check macro mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a
+/// zero-argument test running `cases` deterministic samples. The body
+/// runs inside a closure returning `Result<(), String>` so the
+/// `prop_assert*` macros can early-return structured failures.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = ($strat).generate(&mut rng);)*
+                    let snapshot = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}\n  "),*),
+                        $(&$arg),*
+                    );
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        ::std::panic!(
+                            "proptest '{}' failed at case {}/{}:\n  {}\ninputs:\n  {}",
+                            stringify!($name), case, config.cases, msg, snapshot
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: like `assert!` but returns a structured failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: like `assert_eq!` but returns a structured failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), l, r
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                stringify!($lhs), stringify!($rhs), l, r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!`: like `assert_ne!` but returns a structured failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($lhs), stringify!($rhs), l
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between heterogeneous strategies of one value type,
+/// mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        #[allow(unused_imports)]
+        use $crate::strategy::Strategy as _;
+        $crate::strategy::Union::new(::std::vec![$(($strat).boxed()),+])
+    }};
+}

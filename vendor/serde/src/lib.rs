@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the workspace vendors the minimal serde surface it actually uses:
+//! the `Serialize`/`Deserialize` trait names and the derive macros
+//! (which expand to nothing — see `serde_derive`). Nothing in-tree
+//! performs serialization yet; the derives only annotate result-row
+//! types for future exporters.
+
+/// Marker trait matching `serde::Serialize`'s name. The no-op derive
+/// does not implement it; code requiring real serialization should
+/// swap the real serde back in.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This repository pins experiment row types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` so a future
+//! exporter can dump them, but nothing in-tree serializes yet and the
+//! build environment has no registry access. These derives therefore
+//! expand to nothing: the attribute compiles, no impl is generated.
+//! Swapping the real serde back in is a one-line Cargo.toml change.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
