@@ -11,7 +11,7 @@ fn main() {
     let mut sim = Simulator::new();
     let lib = St012Library::at_corner(Corner::Slow);
     let mut b = CircuitBuilder::new(&mut sim, &lib);
-    let h = build_i3(&mut b, "link", &cfg);
+    let h = build_i3(&mut b, "link", &cfg).expect("link builds");
     b.finish();
     sim.stimulus(h.rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(300), Value::one(1))]);
     let words: Vec<u64> = (0..8).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();

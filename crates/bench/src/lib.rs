@@ -19,10 +19,12 @@
 //! | `noc_study` | Mesh-level latency/throughput with each link (extension) |
 //! | `experiments` | All of the above, in order |
 //! | `ablations` | Early-ack / slice-width / receiver-style / corner studies |
+//! | `margins` | Timing-margin / fault-injection sweep (robustness extension) |
 
 #![forbid(unsafe_code)]
 
 pub mod ablations;
 pub mod experiments;
+pub mod robustness;
 pub mod sweep;
 pub mod table;

@@ -3,9 +3,10 @@
 
 use std::collections::BTreeMap;
 
-use sal_des::{ScopeId, SignalId, Simulator, Time, Value};
+use sal_des::{ScopeId, SignalId, SimResult, Simulator, Time, Value};
 
 use crate::async_cells::{CElement, DavidCell};
+use crate::error::BuildError;
 use crate::comb::{Gate, GateOp, Mux2};
 use crate::kind::{CellKind, Library};
 use crate::seq::{DLatch, Dff};
@@ -76,16 +77,31 @@ impl AreaLedger {
 /// (named after the cell), instantiate the component, register it as
 /// the signal's driver, and account area/energy. See the
 /// [crate-level example](crate).
+///
+/// # Error handling
+///
+/// Construction errors (double-driven outputs, width mismatches, bad
+/// stage counts…) do not panic at the offending call. Instead the
+/// *first* error poisons the builder: it is recorded, the offending
+/// cell is skipped (methods return undriven placeholder signals so
+/// call chains stay well-formed), and the error surfaces at the end —
+/// as a `Result` from [`CircuitBuilder::try_finish`], or as a panic
+/// from [`CircuitBuilder::finish`] for top-level code that prefers
+/// failing loudly.
 pub struct CircuitBuilder<'a> {
     sim: &'a mut Simulator,
     lib: &'a dyn Library,
     area: AreaLedger,
+    /// First construction error; later calls on a poisoned builder
+    /// still execute (they cannot make things worse) but their errors
+    /// are dropped so diagnosis points at the root cause.
+    error: Option<BuildError>,
 }
 
 impl<'a> CircuitBuilder<'a> {
     /// Wraps a simulator and a technology library.
     pub fn new(sim: &'a mut Simulator, lib: &'a dyn Library) -> Self {
-        CircuitBuilder { sim, lib, area: AreaLedger::new() }
+        CircuitBuilder { sim, lib, area: AreaLedger::new(), error: None }
     }
 
     /// The underlying simulator (escape hatch for monitors, stimuli…).
@@ -98,9 +114,89 @@ impl<'a> CircuitBuilder<'a> {
         self.lib
     }
 
+    /// The first construction error recorded, if any.
+    pub fn error(&self) -> Option<&BuildError> {
+        self.error.as_ref()
+    }
+
+    /// Records a construction error if none is recorded yet. Exposed
+    /// so netlist assemblers layered on the builder can report their
+    /// own configuration failures through the same channel.
+    pub fn record_error(&mut self, err: BuildError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+    }
+
+    /// An undriven stand-in signal returned after a recorded error, so
+    /// the caller's wiring code keeps flowing to `try_finish`.
+    fn placeholder(&mut self, name: &str, width: u8) -> SignalId {
+        self.sim.add_signal(name, width.clamp(1, Value::MAX_WIDTH))
+    }
+
+    /// Folds a driver-connection result into the poison state.
+    fn check_driver(&mut self, cell: &str, result: SimResult<()>) {
+        if let Err(e) = result {
+            self.record_error(BuildError::AlreadyDriven {
+                cell: cell.to_string(),
+                detail: e.to_string(),
+            });
+        }
+    }
+
+    /// Checks an exact width requirement; on mismatch records the
+    /// error and returns `false` (the caller skips building the cell).
+    fn width_ok(&mut self, cell: &str, expected: u8, actual: u8) -> bool {
+        if expected == actual {
+            true
+        } else {
+            self.record_error(BuildError::WidthMismatch {
+                cell: cell.to_string(),
+                expected,
+                actual,
+            });
+            false
+        }
+    }
+
+    /// Checks a structural parameter; on failure records the error and
+    /// returns `false` (the caller skips building the cell).
+    fn param_ok(&mut self, cond: bool, cell: &str, message: &str) -> bool {
+        if !cond {
+            self.record_error(BuildError::BadParameter {
+                cell: cell.to_string(),
+                message: message.to_string(),
+            });
+        }
+        cond
+    }
+
     /// Finishes building and returns the accumulated area ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a construction error was recorded. Library code that
+    /// wants the graceful path uses [`CircuitBuilder::try_finish`].
     pub fn finish(self) -> AreaLedger {
-        self.area
+        match self.try_finish() {
+            Ok(area) => area,
+            Err(e) => panic!("netlist construction failed: {e}"),
+        }
+    }
+
+    /// Finishes building: the accumulated area ledger, or the first
+    /// construction error recorded.
+    pub fn try_finish(self) -> Result<AreaLedger, BuildError> {
+        match self.error {
+            None => Ok(self.area),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Extracts the poison state without consuming the builder, for
+    /// assemblers that return `Result` mid-construction.
+    pub fn take_error(&mut self) -> Option<BuildError> {
+        self.error.take()
     }
 
     /// Enters a child scope (hierarchy for names, energy and area).
@@ -116,6 +212,13 @@ impl<'a> CircuitBuilder<'a> {
     /// Declares an undriven input signal (driven later by a stimulus
     /// or another block).
     pub fn input(&mut self, name: &str, width: u8) -> SignalId {
+        if !self.param_ok(
+            width >= 1 && width <= Value::MAX_WIDTH,
+            name,
+            "signal width must be 1..=64",
+        ) {
+            return self.placeholder(name, width);
+        }
         self.sim.add_signal(name, width)
     }
 
@@ -127,16 +230,16 @@ impl<'a> CircuitBuilder<'a> {
     }
 
     fn gate(&mut self, name: &str, op: GateOp, kind: CellKind, inputs: &[SignalId]) -> SignalId {
-        let width = inputs
-            .iter()
-            .map(|&s| self.sim.signal_width(s))
-            .max()
-            .expect("gate needs at least one input");
+        let Some(width) = inputs.iter().map(|&s| self.sim.signal_width(s)).max() else {
+            self.record_error(BuildError::EmptyInputs { cell: name.to_string() });
+            return self.placeholder(name, 1);
+        };
         let p = self.account(kind, width);
         let out = self.sim.add_signal(name, width);
         let comp = Gate::new(op, inputs.to_vec(), out, width, p.delay);
         let id = self.sim.add_component(name, comp, inputs);
-        self.sim.connect_driver(id, out).expect("fresh gate output already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
         out
     }
@@ -206,16 +309,15 @@ impl<'a> CircuitBuilder<'a> {
     /// Word-wide 2-way multiplexer (`sel` 1 bit; `a`, `b` same width).
     pub fn mux2(&mut self, name: &str, sel: SignalId, a: SignalId, b: SignalId) -> SignalId {
         let width = self.sim.signal_width(a);
-        assert_eq!(
-            width,
-            self.sim.signal_width(b),
-            "mux2 data widths differ"
-        );
+        if !self.width_ok(name, width, self.sim.signal_width(b)) {
+            return self.placeholder(name, width);
+        }
         let p = self.account(CellKind::Mux2, width);
         let out = self.sim.add_signal(name, width);
         let comp = Mux2::new(sel, a, b, out, p.delay);
         let id = self.sim.add_component(name, comp, &[sel, a, b]);
-        self.sim.connect_driver(id, out).expect("fresh mux output already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
         out
     }
@@ -235,7 +337,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = vec![d, en];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
-        self.sim.connect_driver(id, q).expect("fresh latch output already driven");
+        let res = self.sim.connect_driver(id, q);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(q, p.energy_fj);
         q
     }
@@ -259,7 +362,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = vec![clk];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
-        self.sim.connect_driver(id, q).expect("fresh dff output already driven");
+        let res = self.sim.connect_driver(id, q);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(q, p.energy_fj);
         q
     }
@@ -268,9 +372,9 @@ impl<'a> CircuitBuilder<'a> {
     /// (for registers whose own output feeds their input logic, e.g.
     /// write-enable muxed registers).
     ///
-    /// # Panics
-    ///
-    /// Panics if `q` already has a driver or widths mismatch.
+    /// If `q` already has a driver or widths mismatch, the error is
+    /// recorded (see the struct-level error-handling notes) and the
+    /// cell is skipped.
     pub fn dff_into(
         &mut self,
         name: &str,
@@ -280,13 +384,16 @@ impl<'a> CircuitBuilder<'a> {
         rstn: Option<SignalId>,
     ) {
         let width = self.sim.signal_width(d);
-        assert_eq!(self.sim.signal_width(q), width, "dff_into width mismatch");
+        if !self.width_ok(name, width, self.sim.signal_width(q)) {
+            return;
+        }
         let p = self.account(CellKind::Dff, width);
         let comp = Dff::new(d, clk, rstn, q, width, p.delay);
         let mut ins = vec![d, clk];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
-        self.sim.connect_driver(id, q).expect("dff_into target already driven");
+        let res = self.sim.connect_driver(id, q);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(q, p.energy_fj);
     }
 
@@ -316,7 +423,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = inputs.to_vec();
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
-        self.sim.connect_driver(id, z).expect("fresh C-element output already driven");
+        let res = self.sim.connect_driver(id, z);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(z, p.energy_fj);
         z
     }
@@ -325,16 +433,18 @@ impl<'a> CircuitBuilder<'a> {
     /// loops such as acknowledge wires running against the build
     /// direction).
     ///
-    /// # Panics
-    ///
-    /// Panics if `out` already has a driver or widths mismatch.
+    /// If `out` already has a driver or widths mismatch, the error is
+    /// recorded and the cell is skipped.
     pub fn buf_into(&mut self, name: &str, out: SignalId, src: SignalId) {
         let width = self.sim.signal_width(src);
-        assert_eq!(self.sim.signal_width(out), width, "buf_into width mismatch");
+        if !self.width_ok(name, width, self.sim.signal_width(out)) {
+            return;
+        }
         let p = self.account(CellKind::Buf, width);
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, p.delay);
         let id = self.sim.add_component(name, comp, &[src]);
-        self.sim.connect_driver(id, out).expect("buf_into target already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
     }
 
@@ -342,9 +452,8 @@ impl<'a> CircuitBuilder<'a> {
     /// (for feedback cycles such as acknowledge wires that must exist
     /// before the stage producing them is built).
     ///
-    /// # Panics
-    ///
-    /// Panics if `out` already has a driver or is not 1 bit wide.
+    /// If `out` already has a driver or is not 1 bit wide, the error
+    /// is recorded and the cell is skipped.
     pub fn celement_into(
         &mut self,
         name: &str,
@@ -353,13 +462,16 @@ impl<'a> CircuitBuilder<'a> {
         rstn: Option<SignalId>,
         init: bool,
     ) {
-        assert_eq!(self.sim.signal_width(out), 1, "C-element output must be 1 bit");
+        if !self.width_ok(name, 1, self.sim.signal_width(out)) {
+            return;
+        }
         let p = self.account(CellKind::CElement(inputs.len() as u8), 1);
         let comp = CElement::new(inputs.to_vec(), rstn, out, p.delay, init);
         let mut ins = inputs.to_vec();
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
-        self.sim.connect_driver(id, out).expect("celement_into target already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
     }
 
@@ -379,7 +491,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = vec![set, clr];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
-        self.sim.connect_driver(id, o2).expect("fresh David cell output already driven");
+        let res = self.sim.connect_driver(id, o2);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(o2, p.energy_fj);
         o2
     }
@@ -387,9 +500,8 @@ impl<'a> CircuitBuilder<'a> {
     /// David cell driving a *pre-declared* output signal (for flags
     /// read by the logic that computes their own set/clear inputs).
     ///
-    /// # Panics
-    ///
-    /// Panics if `out` already has a driver or is not 1 bit wide.
+    /// If `out` already has a driver or is not 1 bit wide, the error
+    /// is recorded and the cell is skipped.
     pub fn david_cell_into(
         &mut self,
         name: &str,
@@ -399,13 +511,16 @@ impl<'a> CircuitBuilder<'a> {
         rstn: Option<SignalId>,
         init: bool,
     ) {
-        assert_eq!(self.sim.signal_width(out), 1, "David cell output must be 1 bit");
+        if !self.width_ok(name, 1, self.sim.signal_width(out)) {
+            return;
+        }
         let p = self.account(CellKind::DavidCell, 1);
         let comp = DavidCell::new(set, clr, rstn, out, p.delay, init);
         let mut ins = vec![set, clr];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
-        self.sim.connect_driver(id, out).expect("david_cell_into target already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
     }
 
@@ -414,7 +529,8 @@ impl<'a> CircuitBuilder<'a> {
         let p = self.account(CellKind::Tie, value.width());
         let out = self.sim.add_signal(name, value.width());
         let id = self.sim.add_component(name, ConstDriver::new(out, value), &[]);
-        self.sim.connect_driver(id, out).expect("fresh tie output already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
         self.sim.schedule_wake(id, Time::ZERO);
         out
@@ -425,7 +541,8 @@ impl<'a> CircuitBuilder<'a> {
     pub fn clock(&mut self, name: &str, period: Time) -> SignalId {
         let out = self.sim.add_signal(name, 1);
         let id = self.sim.add_component(name, ClockGen::new(out, period), &[]);
-        self.sim.connect_driver(id, out).expect("fresh clock output already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         self.sim.schedule_wake(id, Time::ZERO);
         out
     }
@@ -453,7 +570,9 @@ impl<'a> CircuitBuilder<'a> {
         rstn: Option<SignalId>,
         n: usize,
     ) -> Vec<SignalId> {
-        assert!(n >= 1, "shift register needs at least one stage");
+        if !self.param_ok(n >= 1, name, "shift register needs at least one stage") {
+            return Vec::new();
+        }
         let mut outs = Vec::with_capacity(n);
         let mut prev = d;
         for i in 0..n {
@@ -466,22 +585,43 @@ impl<'a> CircuitBuilder<'a> {
 
     /// Pure-wiring view of `bus[lo .. lo+width]` (no area, no energy).
     pub fn slice(&mut self, name: &str, bus: SignalId, lo: u8, width: u8) -> SignalId {
+        let bus_width = self.sim.signal_width(bus);
+        if !self.param_ok(
+            width >= 1 && lo.checked_add(width).is_some_and(|hi| hi <= bus_width),
+            name,
+            "slice range exceeds bus width",
+        ) {
+            return self.placeholder(name, width);
+        }
         let out = self.sim.add_signal(name, width);
         let comp = crate::comb::SliceWire::new(bus, lo, width, out);
         let id = self.sim.add_component(name, comp, &[bus]);
-        self.sim.connect_driver(id, out).expect("fresh slice already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         out
     }
 
     /// Pure-wiring concatenation of buses, first part in the low bits
     /// (no area, no energy).
     pub fn concat(&mut self, name: &str, parts: &[SignalId]) -> SignalId {
-        assert!(!parts.is_empty(), "concat of nothing");
-        let width: u8 = parts.iter().map(|&p| self.sim.signal_width(p)).sum();
+        if parts.is_empty() {
+            self.record_error(BuildError::EmptyInputs { cell: name.to_string() });
+            return self.placeholder(name, 1);
+        }
+        let width: u32 = parts.iter().map(|&p| self.sim.signal_width(p) as u32).sum();
+        if !self.param_ok(
+            width <= Value::MAX_WIDTH as u32,
+            name,
+            "concatenated width exceeds 64 bits",
+        ) {
+            return self.placeholder(name, 1);
+        }
+        let width = width as u8;
         let out = self.sim.add_signal(name, width);
         let comp = crate::comb::ConcatWire::new(parts.to_vec(), out);
         let id = self.sim.add_component(name, comp, parts);
-        self.sim.connect_driver(id, out).expect("fresh concat already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         out
     }
 
@@ -500,7 +640,8 @@ impl<'a> CircuitBuilder<'a> {
         let out = self.sim.add_signal(name, width);
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
         let id = self.sim.add_component(name, comp, &[src]);
-        self.sim.connect_driver(id, out).expect("fresh transport already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(out, energy_fj);
         out
     }
@@ -509,9 +650,8 @@ impl<'a> CircuitBuilder<'a> {
     /// *pre-declared* output signal (for backward wires such as
     /// acknowledges that must exist before their driver is built).
     ///
-    /// # Panics
-    ///
-    /// Panics if `out` already has a driver or widths mismatch.
+    /// If `out` already has a driver or widths mismatch, the error is
+    /// recorded and the cell is skipped.
     pub fn transport_into(
         &mut self,
         name: &str,
@@ -521,10 +661,13 @@ impl<'a> CircuitBuilder<'a> {
         energy_fj: f64,
     ) {
         let width = self.sim.signal_width(src);
-        assert_eq!(self.sim.signal_width(out), width, "transport width mismatch");
+        if !self.width_ok(name, width, self.sim.signal_width(out)) {
+            return;
+        }
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
         let id = self.sim.add_component(name, comp, &[src]);
-        self.sim.connect_driver(id, out).expect("transport_into target already driven");
+        let res = self.sim.connect_driver(id, out);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(out, energy_fj);
     }
 
@@ -549,9 +692,7 @@ impl<'a> CircuitBuilder<'a> {
     /// one-hot sequencer of the paper's Figs 4–6 with the handshake
     /// completion signal acting as the advance clock.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n < 2`.
+    /// Requires `n >= 2` (recorded as a [`BuildError`] otherwise).
     pub fn ring_counter(
         &mut self,
         name: &str,
@@ -559,7 +700,9 @@ impl<'a> CircuitBuilder<'a> {
         rstn: Option<SignalId>,
         n: usize,
     ) -> Vec<SignalId> {
-        assert!(n >= 2, "ring counter needs at least two stages");
+        if !self.param_ok(n >= 2, name, "ring counter needs at least two stages") {
+            return Vec::new();
+        }
         // q0 holds the complement of token 0: d0 = inv(token[n-1]),
         // token0 = inv(q0); later stages store tokens directly.
         let tok_last = self.sim.add_signal(&format!("{name}_t{}", n - 1), 1);
@@ -568,7 +711,8 @@ impl<'a> CircuitBuilder<'a> {
             let out = self.sim.add_signal(&format!("{name}_d0"), 1);
             let comp = Gate::new(GateOp::Inv, vec![tok_last], out, 1, p.delay);
             let id = self.sim.add_component(&format!("{name}_d0"), comp, &[tok_last]);
-            self.sim.connect_driver(id, out).expect("fresh ring d0 already driven");
+            let res = self.sim.connect_driver(id, out);
+            self.check_driver(name, res);
             self.sim.set_signal_energy(out, p.energy_fj);
             out
         };
@@ -584,7 +728,8 @@ impl<'a> CircuitBuilder<'a> {
                 let mut ins = vec![prev, clk];
                 ins.extend(rstn);
                 let id = self.sim.add_component(&format!("{name}_q{k}"), comp, &ins);
-                self.sim.connect_driver(id, tok_last).expect("ring feedback already driven");
+                let res = self.sim.connect_driver(id, tok_last);
+                self.check_driver(name, res);
                 self.sim.set_signal_energy(tok_last, p.energy_fj);
                 tokens.push(tok_last);
             } else {
@@ -602,9 +747,7 @@ impl<'a> CircuitBuilder<'a> {
     /// [`CircuitBuilder::ring_counter`]. Each stage costs a mux plus a
     /// flip-flop (the standard enabled-register idiom).
     ///
-    /// # Panics
-    ///
-    /// Panics if `n < 2`.
+    /// Requires `n >= 2` (recorded as a [`BuildError`] otherwise).
     pub fn ring_counter_en(
         &mut self,
         name: &str,
@@ -613,14 +756,17 @@ impl<'a> CircuitBuilder<'a> {
         rstn: Option<SignalId>,
         n: usize,
     ) -> Vec<SignalId> {
-        assert!(n >= 2, "ring counter needs at least two stages");
+        if !self.param_ok(n >= 2, name, "ring counter needs at least two stages") {
+            return Vec::new();
+        }
         let tok_last = self.sim.add_signal(&format!("{name}_t{}", n - 1), 1);
         let next0 = {
             let p = self.account(CellKind::Inv, 1);
             let out = self.sim.add_signal(&format!("{name}_n0"), 1);
             let comp = Gate::new(GateOp::Inv, vec![tok_last], out, 1, p.delay);
             let id = self.sim.add_component(&format!("{name}_n0"), comp, &[tok_last]);
-            self.sim.connect_driver(id, out).expect("fresh ring n0 already driven");
+            let res = self.sim.connect_driver(id, out);
+            self.check_driver(name, res);
             self.sim.set_signal_energy(out, p.energy_fj);
             out
         };
@@ -633,7 +779,8 @@ impl<'a> CircuitBuilder<'a> {
             let mut ins = vec![d0, clk];
             ins.extend(rstn);
             let id = self.sim.add_component(&format!("{name}_q0"), comp, &ins);
-            self.sim.connect_driver(id, q0_sig).expect("ring q0 already driven");
+            let res = self.sim.connect_driver(id, q0_sig);
+            self.check_driver(name, res);
             self.sim.set_signal_energy(q0_sig, p.energy_fj);
         }
         let t0 = self.inv(&format!("{name}_t0"), q0_sig);
@@ -651,7 +798,8 @@ impl<'a> CircuitBuilder<'a> {
             let mut ins = vec![d, clk];
             ins.extend(rstn);
             let id = self.sim.add_component(&format!("{name}_q{k}"), comp, &ins);
-            self.sim.connect_driver(id, q_sig).expect("ring stage already driven");
+            let res = self.sim.connect_driver(id, q_sig);
+            self.check_driver(name, res);
             self.sim.set_signal_energy(q_sig, p.energy_fj);
             tokens.push(q_sig);
             prev = q_sig;
@@ -663,17 +811,23 @@ impl<'a> CircuitBuilder<'a> {
     /// where `tokens[k]` is high. All data signals share one width;
     /// tokens are 1-bit and assumed one-hot.
     ///
-    /// # Panics
-    ///
-    /// Panics if the slices are empty or lengths differ.
+    /// Empty slices or mismatched lengths are recorded as a
+    /// [`BuildError`].
     pub fn onehot_mux(
         &mut self,
         name: &str,
         tokens: &[SignalId],
         data: &[SignalId],
     ) -> SignalId {
-        assert!(!tokens.is_empty(), "one-hot mux needs at least one input");
-        assert_eq!(tokens.len(), data.len(), "token/data count mismatch");
+        if tokens.is_empty() {
+            let width = data.first().map_or(1, |&d| self.sim.signal_info(d).width);
+            self.record_error(BuildError::EmptyInputs { cell: name.to_string() });
+            return self.placeholder(name, width);
+        }
+        if !self.param_ok(tokens.len() == data.len(), name, "token/data count mismatch") {
+            let width = data.first().map_or(1, |&d| self.sim.signal_info(d).width);
+            return self.placeholder(name, width);
+        }
         let mut terms: Vec<SignalId> = tokens
             .iter()
             .zip(data)
@@ -707,9 +861,8 @@ impl<'a> CircuitBuilder<'a> {
     /// word-level serializer derives its burst timing from exactly
     /// this structure ("5 back to back invertors", §IV).
     ///
-    /// # Panics
-    ///
-    /// Panics if `stages` is even or zero.
+    /// An even or too-small stage count is recorded as a
+    /// [`BuildError`].
     pub fn ring_oscillator(&mut self, name: &str, enable: SignalId) -> SignalId {
         self.ring_oscillator_stages(name, enable, 5)
     }
@@ -722,7 +875,13 @@ impl<'a> CircuitBuilder<'a> {
         enable: SignalId,
         stages: usize,
     ) -> SignalId {
-        assert!(stages % 2 == 1 && stages >= 3, "ring oscillator needs an odd stage count >= 3");
+        if !self.param_ok(
+            stages % 2 == 1 && stages >= 3,
+            name,
+            "ring oscillator needs an odd stage count >= 3",
+        ) {
+            return self.placeholder(name, 1);
+        }
         // Feedback node must exist before the NAND that closes the loop.
         let fb = self.sim.add_signal(&format!("{name}_fb"), 1);
         let g0 = self.gate(&format!("{name}_nand"), GateOp::Nand, CellKind::Nand(2), &[enable, fb]);
@@ -734,7 +893,8 @@ impl<'a> CircuitBuilder<'a> {
         let p = self.account(CellKind::Inv, 1);
         let comp = Gate::new(GateOp::Inv, vec![node], fb, 1, p.delay);
         let id = self.sim.add_component(&format!("{name}_inv_fb"), comp, &[node]);
-        self.sim.connect_driver(id, fb).expect("ring feedback already driven");
+        let res = self.sim.connect_driver(id, fb);
+        self.check_driver(name, res);
         self.sim.set_signal_energy(fb, p.energy_fj);
         fb
     }
@@ -990,5 +1150,76 @@ mod tests {
         let info = sim.signal_info(t);
         assert!((info.energy_per_toggle_fj - 15.4).abs() < 1e-9);
         assert!(sim.value(t).is_high());
+    }
+
+    #[test]
+    fn double_drive_is_recorded_not_panicked() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let a = b.input("a", 1);
+        let y = sim_target(&mut b, a);
+        // Drive `y` a second time through buf_into: the conflict must
+        // be recorded, not panic, and later calls become no-ops.
+        b.buf_into("dup", y, a);
+        assert!(matches!(b.error(), Some(BuildError::AlreadyDriven { .. })));
+        // Poisoned builder: further construction is inert.
+        let z = b.inv("after", a);
+        assert_eq!(sim_width(&b, z), 1);
+        let err = b.try_finish().unwrap_err();
+        assert!(err.to_string().contains("dup"));
+    }
+
+    fn sim_target(b: &mut CircuitBuilder<'_>, a: SignalId) -> SignalId {
+        b.inv("first", a)
+    }
+
+    fn sim_width(b: &CircuitBuilder<'_>, s: SignalId) -> u8 {
+        b.sim.signal_info(s).width
+    }
+
+    #[test]
+    fn bad_parameter_poisons_builder() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let clk = b.input("clk", 1);
+        let toks = b.ring_counter("ring", clk, None, 1); // n < 2
+        assert!(toks.is_empty());
+        match b.try_finish() {
+            Err(BuildError::BadParameter { cell, message }) => {
+                assert_eq!(cell, "ring");
+                assert!(message.contains("two stages"));
+            }
+            other => panic!("expected BadParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_mismatch_is_recorded() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let a = b.input("a", 4);
+        let s = b.input("s", 1);
+        let bwide = b.input("b", 8);
+        let _ = b.mux2("m0", s, a, bwide);
+        assert!(matches!(
+            b.take_error(),
+            Some(BuildError::WidthMismatch { expected: 4, actual: 8, .. })
+        ));
+        // take_error clears the poison; the builder is usable again.
+        let _ = b.inv("i0", s);
+        assert!(b.try_finish().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "netlist construction failed")]
+    fn finish_panics_on_recorded_error() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let _ = b.onehot_mux("oh", &[], &[]);
+        b.finish();
     }
 }

@@ -1,0 +1,93 @@
+//! Netlist construction errors.
+//!
+//! [`CircuitBuilder`](crate::CircuitBuilder) is *poisoning*: the first
+//! construction error is recorded and every later call is a no-op
+//! returning placeholder signals, so builder call chains keep their
+//! ergonomic value-returning signatures. The recorded error surfaces
+//! through [`CircuitBuilder::try_finish`](crate::CircuitBuilder::try_finish)
+//! (graceful, for library callers such as the link assembler) or
+//! [`CircuitBuilder::finish`](crate::CircuitBuilder::finish) (panics,
+//! preserving fail-loudly behaviour for top-level experiment code).
+
+use std::fmt;
+
+/// An error recorded while building a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A cell tried to drive a signal that already has a driver.
+    AlreadyDriven {
+        /// Name of the cell whose connection failed.
+        cell: String,
+        /// The kernel's description of the conflict.
+        detail: String,
+    },
+    /// Two ports that must share a width do not.
+    WidthMismatch {
+        /// Name of the cell being built.
+        cell: String,
+        /// The width required.
+        expected: u8,
+        /// The width supplied.
+        actual: u8,
+    },
+    /// A cell or compound was given no inputs.
+    EmptyInputs {
+        /// Name of the cell being built.
+        cell: String,
+    },
+    /// A structural parameter is out of range (stage counts, slice
+    /// bounds, bus widths…).
+    BadParameter {
+        /// Name of the cell being built.
+        cell: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A higher-level configuration was invalid before any cell was
+    /// built (used by netlist assemblers layered on the builder).
+    Config {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::AlreadyDriven { cell, detail } => {
+                write!(f, "cell '{cell}': output already driven ({detail})")
+            }
+            BuildError::WidthMismatch { cell, expected, actual } => {
+                write!(f, "cell '{cell}': width mismatch (expected {expected}, got {actual})")
+            }
+            BuildError::EmptyInputs { cell } => {
+                write!(f, "cell '{cell}': needs at least one input")
+            }
+            BuildError::BadParameter { cell, message } => {
+                write!(f, "cell '{cell}': {message}")
+            }
+            BuildError::Config { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_cell() {
+        let e = BuildError::AlreadyDriven { cell: "buf0".into(), detail: "x".into() };
+        assert!(e.to_string().contains("buf0"));
+        let e = BuildError::WidthMismatch { cell: "mux".into(), expected: 8, actual: 4 };
+        assert!(e.to_string().contains("expected 8"));
+        let e = BuildError::EmptyInputs { cell: "or_tree".into() };
+        assert!(e.to_string().contains("or_tree"));
+        let e = BuildError::BadParameter { cell: "ring".into(), message: "n must be >= 2".into() };
+        assert!(e.to_string().contains("n must be >= 2"));
+        let e = BuildError::Config { message: "flit width 0".into() };
+        assert!(e.to_string().contains("flit width 0"));
+    }
+}

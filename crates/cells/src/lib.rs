@@ -48,12 +48,14 @@
 mod async_cells;
 mod builder;
 mod comb;
+mod error;
 mod kind;
 mod seq;
 mod sources;
 
 pub use async_cells::{CElement, DavidCell};
 pub use builder::{AreaLedger, CircuitBuilder};
+pub use error::BuildError;
 pub use comb::{Gate, GateOp, Mux2};
 pub use kind::{CellKind, CellParams, Library, UnitLibrary};
 pub use seq::{DLatch, Dff};

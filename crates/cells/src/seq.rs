@@ -62,6 +62,15 @@ impl Component for DLatch {
 
 /// A word-wide positive-edge D flip-flop with asynchronous active-low
 /// reset (clears to zero).
+///
+/// When the simulator's fault plan enables setup checking for this
+/// component ([`Ctx::setup_scale`]), a data change inside the setup
+/// window before the capturing edge makes the flop capture all-`X` —
+/// the discrete-event stand-in for metastability. The nominal window
+/// is the cell's own clk→q delay (a setup time is, to first order, a
+/// gate delay) and stretches with the component's delay derating, so
+/// uniformly derated self-timed logic keeps its margins while a path
+/// racing a fixed clock loses slack from both sides.
 #[derive(Debug)]
 pub struct Dff {
     d: SignalId,
@@ -102,7 +111,16 @@ impl Component for Dff {
         self.prev_clk = clk;
         if rising {
             let d = ctx.read(self.d);
-            ctx.drive(self.q, d, self.delay);
+            let q = match ctx.setup_scale() {
+                Some(scale)
+                    if ctx.now() - ctx.last_change(self.d)
+                        < Time::from_fs((self.delay.as_fs() as f64 * scale).round() as u64) =>
+                {
+                    Value::all_x(self.width)
+                }
+                _ => d,
+            };
+            ctx.drive(self.q, q, self.delay);
         }
     }
 }
@@ -210,6 +228,37 @@ mod tests {
         assert_eq!(sim.value(q).to_u64(), Some(0x12));
         sim.run_to_quiescence().unwrap();
         assert_eq!(sim.value(q).to_u64(), Some(0x34));
+    }
+
+    #[test]
+    fn dff_setup_check_flags_late_data() {
+        // With setup checking enabled, a d change 3 ps before the
+        // capturing edge (inside the 5 ps window) must capture X; a
+        // d stable since long before the edge captures normally.
+        let mut sim = Simulator::new();
+        let (d, clk, rstn, q) = dff_fixture(&mut sim);
+        sim.apply_fault_plan(&sal_des::FaultPlan::new(1).with_setup_check()).unwrap();
+        sim.stimulus(rstn, &[(Time::ZERO, Value::one(1))]);
+        sim.stimulus(
+            d,
+            &[
+                (Time::ZERO, Value::from_u64(8, 0x12)),
+                (Time::from_ps(97), Value::from_u64(8, 0x34)),
+            ],
+        );
+        sim.stimulus(
+            clk,
+            &[
+                (Time::ZERO, Value::zero(1)),
+                (Time::from_ps(100), Value::one(1)),
+                (Time::from_ps(200), Value::zero(1)),
+                (Time::from_ps(300), Value::one(1)),
+            ],
+        );
+        sim.run_until(Time::from_ps(150)).unwrap();
+        assert_eq!(sim.value(q).to_u64(), None, "violating capture must be X");
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.value(q).to_u64(), Some(0x34), "clean capture must recover");
     }
 
     #[test]

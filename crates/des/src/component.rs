@@ -82,6 +82,17 @@ impl Ctx<'_> {
     /// release builds skip the checks in this hottest of paths.
     #[inline]
     pub fn drive(&mut self, sig: SignalId, value: Value, delay: Time) {
+        // Fault hook: perturb the delay (derating, sigma, skew) or
+        // discard the drive entirely (stuck-at target). `fault` is
+        // `None` unless a non-empty plan was applied, so clean runs
+        // pay one predictable branch and behave bit-identically.
+        let delay = match &self.kernel.fault {
+            None => delay,
+            Some(fault) => match fault.transform(self.comp, sig, self.kernel.now, delay) {
+                Some(d) => d,
+                None => return,
+            },
+        };
         let state = &mut self.kernel.signals[sig.index()];
         debug_assert_eq!(
             state.driver,
@@ -116,6 +127,37 @@ impl Ctx<'_> {
         let epoch = state.drive_epoch;
         let t = self.kernel.now + delay;
         self.kernel.queue.push(t, EventKind::Drive { signal: sig, epoch });
+    }
+
+    /// When the installed fault plan enables setup-window checking for
+    /// this component, returns its delay multiplier — the factor a
+    /// sequential cell should stretch its nominal setup window by.
+    /// `None` (the overwhelmingly common case) means no checking:
+    /// either no fault plan is installed, checking is not enabled, or
+    /// this component is outside the plan's scopes.
+    #[inline]
+    pub fn setup_scale(&self) -> Option<f64> {
+        let fault = self.kernel.fault.as_ref()?;
+        if fault.setup_check.get(self.comp.index()).copied().unwrap_or(false) {
+            Some(fault.comp_scale.get(self.comp.index()).copied().unwrap_or(1.0))
+        } else {
+            None
+        }
+    }
+
+    /// The declared name of a signal (without scope path). Useful in
+    /// cell-side diagnostics.
+    pub fn signal_name(&self, sig: SignalId) -> &str {
+        &self.kernel.signals[sig.index()].name
+    }
+
+    /// The time `sig` last committed a new value. Lets edge-triggered
+    /// cells check setup-style timing constraints against inputs that
+    /// are *not* in their sensitivity list (an unchanged clock level
+    /// never wakes them on data activity).
+    #[inline]
+    pub fn last_change(&self, sig: SignalId) -> Time {
+        self.kernel.signals[sig.index()].last_change
     }
 
     /// Schedules an [`Component::on_wake`] callback for this component

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::watchdog::DeadlockReport;
 use crate::{ComponentId, SignalId, Time};
 
 /// Result alias for kernel operations.
@@ -38,6 +39,15 @@ pub enum SimError {
         at: Time,
         /// The configured limit.
         limit: u64,
+        /// Watchdog diagnosis of the stall, when handshake watches
+        /// were registered and at least one was caught mid-protocol.
+        diagnosis: Option<Box<DeadlockReport>>,
+    },
+    /// A fault plan named a signal path that does not exist in the
+    /// netlist.
+    UnknownFaultTarget {
+        /// The path that failed to resolve.
+        path: String,
     },
 }
 
@@ -53,11 +63,20 @@ impl fmt::Display for SimError {
                 f,
                 "signal {signal:?} has width {expected} but was driven with width {actual}"
             ),
-            SimError::EventLimitExceeded { at, limit } => write!(
-                f,
-                "event limit of {limit} events exceeded at t={at}; \
-                 possible oscillation or missing stop condition"
-            ),
+            SimError::EventLimitExceeded { at, limit, diagnosis } => {
+                write!(
+                    f,
+                    "event limit of {limit} events exceeded at t={at}; \
+                     possible oscillation or missing stop condition"
+                )?;
+                if let Some(report) = diagnosis {
+                    write!(f, "\n{report}")?;
+                }
+                Ok(())
+            }
+            SimError::UnknownFaultTarget { path } => {
+                write!(f, "fault plan targets unknown signal path '{path}'")
+            }
         }
     }
 }
@@ -79,8 +98,36 @@ mod tests {
         assert!(e.to_string().contains("already driven"));
         let e = SimError::WidthMismatch { signal: SignalId(0), expected: 8, actual: 4 };
         assert!(e.to_string().contains("width 8"));
-        let e = SimError::EventLimitExceeded { at: Time::from_ns(5), limit: 100 };
+        let e = SimError::EventLimitExceeded { at: Time::from_ns(5), limit: 100, diagnosis: None };
         let msg = e.to_string();
         assert!(msg.contains("100") && msg.contains("5ns"));
+        let e = SimError::UnknownFaultTarget { path: "link.nope".to_string() };
+        assert!(e.to_string().contains("link.nope"));
+    }
+
+    #[test]
+    fn event_limit_display_includes_diagnosis() {
+        use crate::watchdog::{DeadlockReport, StalledHandshake};
+        use crate::Value;
+        let e = SimError::EventLimitExceeded {
+            at: Time::from_ns(9),
+            limit: 1000,
+            diagnosis: Some(Box::new(DeadlockReport {
+                at: Time::from_ns(9),
+                stalled: vec![StalledHandshake {
+                    label: "hs".to_string(),
+                    req_path: "a.req".to_string(),
+                    ack_path: "a.ack".to_string(),
+                    req_value: Value::one(1),
+                    ack_value: Value::zero(1),
+                    req_last_change: Time::from_ns(1),
+                    ack_last_change: Time::ZERO,
+                    waiting: vec![],
+                }],
+            })),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("stalled handshake"));
+        assert!(msg.contains("a.req"));
     }
 }

@@ -23,6 +23,11 @@ pub(crate) enum EventKind {
     Drive { signal: SignalId, epoch: u64 },
     /// Call `on_wake` on the component.
     Wake { comp: ComponentId },
+    /// Execute the fault action at this index of the installed
+    /// [`crate::fault::FaultState`] action table (stuck-at activation,
+    /// glitch injection or glitch restore). Only ever queued when a
+    /// non-empty fault plan was applied.
+    Fault { action: u32 },
 }
 
 #[derive(Debug, Clone)]

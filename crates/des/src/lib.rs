@@ -57,6 +57,7 @@
 mod component;
 mod error;
 mod event;
+mod fault;
 mod scope;
 mod signal;
 mod sim;
@@ -64,12 +65,15 @@ mod stats;
 mod time;
 mod value;
 pub mod vcd;
+mod watchdog;
 
 pub use component::{Component, ComponentId, Ctx};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultPlan, Glitch, SkewRule, StuckAt};
 pub use scope::{ScopeId, ScopePath};
 pub use signal::{SignalId, SignalInfo};
 pub use sim::{SimConfig, Simulator};
+pub use watchdog::{DeadlockReport, StalledHandshake};
 pub use stats::{ActivityReport, EnergyReport, ScopeEnergy};
 pub use time::Time;
 pub use value::{Logic, Value};

@@ -2,9 +2,11 @@
 
 use crate::component::{Component, ComponentId, Ctx};
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultAction, FaultPlan, FaultState};
 use crate::scope::{ScopeId, ScopePath, ScopeTree};
 use crate::signal::{SignalId, SignalInfo, SignalState};
 use crate::stats::{ActivityReport, EnergyReport, ScopeEnergy};
+use crate::watchdog::{DeadlockReport, HandshakeWatch, StalledHandshake};
 use crate::{SimError, SimResult, Time, Value};
 
 /// Simulator configuration.
@@ -48,6 +50,11 @@ pub(crate) struct Kernel {
     pub scope_energy_fj: Vec<f64>,
     /// Committed-change trace for VCD export, if enabled.
     pub trace: Option<Vec<(Time, SignalId, Value)>>,
+    /// Installed fault perturbations. `None` (the default) means every
+    /// drive takes the untouched fast path — applying an empty
+    /// [`FaultPlan`] leaves this `None`, so a clean run is
+    /// bit-identical to a build without the fault subsystem.
+    pub fault: Option<Box<FaultState>>,
 }
 
 /// An event-driven gate-level simulator holding a netlist of signals
@@ -71,6 +78,9 @@ pub struct Simulator {
     /// delta, in first-trigger order. Kept allocated across deltas so
     /// the steady-state event loop performs no heap allocation.
     pending_evals: Vec<ComponentId>,
+    /// Handshake pairs registered for deadlock diagnosis, in
+    /// registration order.
+    watches: Vec<HandshakeWatch>,
 }
 
 impl Default for Simulator {
@@ -108,6 +118,7 @@ impl Simulator {
                 comp_stamp: Vec::new(),
                 scope_energy_fj: vec![0.0],
                 trace,
+                fault: None,
             },
             comps: Vec::new(),
             comp_names: Vec::new(),
@@ -117,6 +128,7 @@ impl Simulator {
             events_processed: 0,
             delta_seq: 1,
             pending_evals: Vec::new(),
+            watches: Vec::new(),
         }
     }
 
@@ -464,6 +476,190 @@ impl Simulator {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection & deadlock watchdog
+    // ------------------------------------------------------------------
+
+    /// Resolves a [`FaultPlan`] against this netlist and installs it.
+    /// Call once, after construction and before running. An empty plan
+    /// installs nothing — the run stays bit-identical to a plan-free
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownFaultTarget`] if a stuck-at or
+    /// glitch names a signal path that does not exist.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) -> SimResult<()> {
+        if plan.is_empty() {
+            return Ok(());
+        }
+        let nsig = self.kernel.signals.len();
+        let ncomp = self.comps.len();
+        let mut comp_scale = vec![1.0f64; ncomp];
+        if plan.delay_scale != 1.0 || plan.delay_sigma > 0.0 {
+            for c in 0..ncomp {
+                let path = self.scopes.path_str(self.kernel.comp_scopes[c]);
+                if plan.scope_matches(path) {
+                    comp_scale[c] = plan.sample_scale(c);
+                }
+            }
+        }
+        let mut extra_delay_fs = vec![0u64; nsig];
+        if !plan.skews.is_empty() {
+            for i in 0..nsig {
+                let path = self.signal_info(SignalId(i as u32)).path;
+                for rule in &plan.skews {
+                    if path.contains(rule.substring.as_str()) {
+                        extra_delay_fs[i] += rule.extra.as_fs();
+                    }
+                }
+            }
+        }
+        let mut setup_check = vec![false; ncomp];
+        if plan.setup_check {
+            for (c, flag) in setup_check.iter_mut().enumerate() {
+                let path = self.scopes.path_str(self.kernel.comp_scopes[c]);
+                *flag = plan.scope_matches(path);
+            }
+        }
+        let mut stuck_from = vec![Time::MAX; nsig];
+        let mut actions = Vec::new();
+        for s in &plan.stuck {
+            let sig = self
+                .signal_by_path(&s.path)
+                .ok_or_else(|| SimError::UnknownFaultTarget { path: s.path.clone() })?;
+            stuck_from[sig.index()] = s.from;
+            let width = self.kernel.signals[sig.index()].width;
+            let value = if s.value { Value::ones(width) } else { Value::zero(width) };
+            let idx = actions.len() as u32;
+            actions.push(FaultAction::Force { signal: sig, value });
+            self.kernel.queue.push(s.from, EventKind::Fault { action: idx });
+        }
+        for g in &plan.glitches {
+            let sig = self
+                .signal_by_path(&g.path)
+                .ok_or_else(|| SimError::UnknownFaultTarget { path: g.path.clone() })?;
+            let width = self.kernel.signals[sig.index()].width;
+            let lane_mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let idx = actions.len() as u32;
+            actions.push(FaultAction::Glitch {
+                signal: sig,
+                mask: g.mask & lane_mask,
+                width: g.width,
+            });
+            self.kernel.queue.push(g.at, EventKind::Fault { action: idx });
+        }
+        self.kernel.fault = Some(Box::new(FaultState {
+            comp_scale,
+            extra_delay_fs,
+            stuck_from,
+            setup_check,
+            actions,
+        }));
+        Ok(())
+    }
+
+    /// Registers a req/ack (or VALID/ack) pair for deadlock diagnosis.
+    /// A four-phase handshake at rest has both wires at the same
+    /// level; [`Simulator::deadlock_report`] flags registered pairs
+    /// whose levels disagree.
+    pub fn watch_handshake(&mut self, label: &str, req: SignalId, ack: SignalId) {
+        self.watches.push(HandshakeWatch { label: label.to_string(), req, ack });
+    }
+
+    /// Number of handshake pairs registered for diagnosis.
+    pub fn watch_count(&self) -> usize {
+        self.watches.len()
+    }
+
+    /// Inspects every registered handshake and reports the stalled
+    /// ones — pairs whose req and ack levels disagree, meaning one
+    /// side is waiting for a transition that never arrived. Returns
+    /// `None` when nothing is stalled (or nothing was registered).
+    ///
+    /// Call when a run goes quiet with work outstanding: after a
+    /// drained queue, an expired wall budget, or an event-limit trip
+    /// (the kernel attaches this report to
+    /// [`SimError::EventLimitExceeded`] automatically).
+    pub fn deadlock_report(&self) -> Option<DeadlockReport> {
+        let mut stalled = Vec::new();
+        for w in &self.watches {
+            let req = &self.kernel.signals[w.req.index()];
+            let ack = &self.kernel.signals[w.ack.index()];
+            if req.value.as_logic() == ack.value.as_logic() {
+                continue;
+            }
+            // The waiting parties are whoever listens on either wire.
+            let mut waiting: Vec<String> = Vec::new();
+            for &comp in req.fanout.iter().chain(ack.fanout.iter()) {
+                let name = &self.comp_names[comp.index()];
+                if !waiting.iter().any(|n| n == name) {
+                    waiting.push(name.clone());
+                }
+            }
+            stalled.push(StalledHandshake {
+                label: w.label.clone(),
+                req_path: self.signal_info(w.req).path,
+                ack_path: self.signal_info(w.ack).path,
+                req_value: req.value,
+                ack_value: ack.value,
+                req_last_change: req.last_change,
+                ack_last_change: ack.last_change,
+                waiting,
+            });
+        }
+        if stalled.is_empty() {
+            None
+        } else {
+            Some(DeadlockReport { at: self.kernel.now, stalled })
+        }
+    }
+
+    /// Force-commits `value` onto a signal outside the normal driver
+    /// path: bumps the drive epoch (cancelling any in-flight inertial
+    /// drive), updates toggles/trace exactly like a committed drive,
+    /// and queues the fanout for evaluation.
+    fn force_signal(&mut self, signal: SignalId, value: Value) {
+        let kernel = &mut self.kernel;
+        let st = &mut kernel.signals[signal.index()];
+        st.drive_epoch += 1;
+        st.pending = false;
+        if st.value == value {
+            return;
+        }
+        let toggles = st.value.toggles_to(&value);
+        st.toggles += toggles as u64;
+        st.value = value;
+        st.last_change = kernel.now;
+        if let Some(trace) = &mut kernel.trace {
+            trace.push((kernel.now, signal, value));
+        }
+        self.pending_evals.extend_from_slice(&st.fanout);
+    }
+
+    /// Executes one scheduled fault action (the `Fault` event arm).
+    fn run_fault_action(&mut self, idx: u32) {
+        let Some(fault) = self.kernel.fault.as_ref() else {
+            return;
+        };
+        match fault.actions[idx as usize].clone() {
+            FaultAction::Force { signal, value } => self.force_signal(signal, value),
+            FaultAction::Glitch { signal, mask, width } => {
+                let st = &self.kernel.signals[signal.index()];
+                let old = st.value;
+                let flipped = old.xor(&Value::from_u64(st.width, mask));
+                // Schedule the restore before flipping, so a glitch of
+                // width zero still resolves in deterministic order.
+                let fault = self.kernel.fault.as_mut().expect("checked above");
+                let restore = fault.actions.len() as u32;
+                fault.actions.push(FaultAction::Force { signal, value: old });
+                let t = self.kernel.now + width;
+                self.kernel.queue.push(t, EventKind::Fault { action: restore });
+                self.force_signal(signal, flipped);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Event loop
     // ------------------------------------------------------------------
 
@@ -484,6 +680,7 @@ impl Simulator {
                 return Err(SimError::EventLimitExceeded {
                     at: self.kernel.now,
                     limit: self.config.max_events,
+                    diagnosis: self.deadlock_report().map(Box::new),
                 });
             }
         }
@@ -532,6 +729,17 @@ impl Simulator {
         let mut consumed = 1;
         match ev.kind {
             EventKind::Wake { comp } => self.eval(comp, true),
+            EventKind::Fault { action } => {
+                debug_assert!(self.pending_evals.is_empty());
+                self.run_fault_action(action);
+                let mut i = 0;
+                while i < self.pending_evals.len() {
+                    let comp = self.pending_evals[i];
+                    i += 1;
+                    self.eval(comp, false);
+                }
+                self.pending_evals.clear();
+            }
             EventKind::Drive { .. } => {
                 debug_assert!(self.pending_evals.is_empty());
                 // Probe for a same-time burst *before* committing —
@@ -913,6 +1121,202 @@ mod tests {
         assert_eq!(sim.signal_info(a).path, "top.sub.data");
         assert_eq!(sim.signal_by_path("top.sub.data"), Some(a));
         assert_eq!(sim.signal_by_path("nope"), None);
+    }
+
+    #[test]
+    fn empty_fault_plan_installs_nothing() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let _y = inverter(&mut sim, a, Time::from_ps(10));
+        sim.apply_fault_plan(&FaultPlan::new(123)).unwrap();
+        assert!(sim.kernel.fault.is_none());
+    }
+
+    #[test]
+    fn unknown_fault_target_is_an_error() {
+        let mut sim = Simulator::new();
+        let _a = sim.add_signal("a", 1);
+        let plan = FaultPlan::new(0).stuck_at("no.such.signal", false, Time::ZERO);
+        let err = sim.apply_fault_plan(&plan).unwrap_err();
+        assert!(matches!(err, SimError::UnknownFaultTarget { .. }));
+        assert!(err.to_string().contains("no.such.signal"));
+    }
+
+    #[test]
+    fn stuck_at_forces_value_and_discards_later_drives() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let y = inverter(&mut sim, a, Time::from_ps(10));
+        sim.stimulus(
+            a,
+            &[
+                (Time::ZERO, Value::zero(1)),
+                (Time::from_ns(1), Value::one(1)),
+                (Time::from_ns(2), Value::zero(1)),
+            ],
+        );
+        // y would settle high; stick it low from 500 ps instead.
+        let plan = FaultPlan::new(0).stuck_at("y", false, Time::from_ps(500));
+        sim.apply_fault_plan(&plan).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.value(y).is_low());
+        // The input kept moving; the stuck output never followed.
+        assert_eq!(sim.value(a), Value::zero(1));
+    }
+
+    #[test]
+    fn glitch_flips_and_restores() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        sim.monitor("mon", a, move |t, v| {
+            seen2.borrow_mut().push((t, v));
+        });
+        sim.stimulus(a, &[(Time::ZERO, Value::zero(1))]);
+        let plan = FaultPlan::new(0).glitch("a", Time::from_ns(5), Time::from_ps(200), 1);
+        sim.apply_fault_plan(&plan).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(
+            &*seen.borrow(),
+            &[
+                (Time::ZERO, Value::zero(1)),
+                (Time::from_ns(5), Value::one(1)),
+                (Time::from_ns(5) + Time::from_ps(200), Value::zero(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn downstream_inertial_delay_filters_short_glitch() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let y = inverter(&mut sim, a, Time::from_ps(50));
+        sim.stimulus(a, &[(Time::ZERO, Value::zero(1))]);
+        // 20 ps SEU, shorter than the 50 ps gate delay: must vanish.
+        let plan = FaultPlan::new(0).glitch("a", Time::from_ns(5), Time::from_ps(20), 1);
+        sim.apply_fault_plan(&plan).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.value(y).is_high());
+        assert_eq!(sim.toggles(y), 1); // only the initial X -> 1
+    }
+
+    #[test]
+    fn delay_scale_slows_gates() {
+        let run = |scale: f64| {
+            let mut sim = Simulator::new();
+            let a = sim.add_signal("a", 1);
+            let y = inverter(&mut sim, a, Time::from_ps(100));
+            sim.stimulus(a, &[(Time::ZERO, Value::zero(1))]);
+            let plan = FaultPlan::new(0).with_delay_scale(scale);
+            sim.apply_fault_plan(&plan).unwrap();
+            sim.run_to_quiescence().unwrap();
+            sim.signal_info(y).last_change
+        };
+        assert_eq!(run(1.0), Time::from_ps(100));
+        assert_eq!(run(4.0), Time::from_ps(400));
+    }
+
+    #[test]
+    fn skew_adds_extra_delay_on_matching_signals_only() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let data_y = inverter(&mut sim, a, Time::from_ps(100)); // named "y"
+        sim.push_scope("req");
+        let req_y = inverter(&mut sim, a, Time::from_ps(100)); // "req.y"
+        sim.pop_scope();
+        sim.stimulus(a, &[(Time::ZERO, Value::zero(1))]);
+        let plan = FaultPlan::new(0).skew_matching("req.y", Time::from_ps(300));
+        sim.apply_fault_plan(&plan).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.signal_info(data_y).last_change, Time::from_ps(100));
+        assert_eq!(sim.signal_info(req_y).last_change, Time::from_ps(400));
+    }
+
+    #[test]
+    fn sigma_runs_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new();
+            let a = sim.add_signal("a", 1);
+            let mut y = a;
+            for _ in 0..8 {
+                y = inverter(&mut sim, y, Time::from_ps(37));
+            }
+            sim.stimulus(
+                a,
+                &[(Time::ZERO, Value::zero(1)), (Time::from_ns(1), Value::one(1))],
+            );
+            let plan = FaultPlan::new(seed).with_delay_sigma(0.3);
+            sim.apply_fault_plan(&plan).unwrap();
+            sim.run_to_quiescence().unwrap();
+            (sim.signal_info(y).last_change, sim.toggles(y), sim.events_processed())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn watchdog_reports_stalled_handshake() {
+        // A req wire that rises and an ack wire that never answers —
+        // the minimal stalled four-phase handshake.
+        let mut sim = Simulator::new();
+        sim.push_scope("hs");
+        let req = sim.add_signal("req", 1);
+        let ack = sim.add_signal("ack", 1);
+        sim.pop_scope();
+        let _listener = inverter(&mut sim, req, Time::from_ps(10));
+        sim.stimulus(req, &[(Time::ZERO, Value::zero(1)), (Time::from_ns(1), Value::one(1))]);
+        sim.stimulus(ack, &[(Time::ZERO, Value::zero(1))]);
+        sim.watch_handshake("hs0", req, ack);
+        sim.run_until(Time::from_ns(10)).unwrap();
+        let report = sim.deadlock_report().expect("stall must be diagnosed");
+        assert_eq!(report.first_label(), Some("hs0"));
+        assert_eq!(report.stalled.len(), 1);
+        let s = &report.stalled[0];
+        assert_eq!(s.req_path, "hs.req");
+        assert_eq!(s.ack_path, "hs.ack");
+        assert_eq!(s.req_last_change, Time::from_ns(1));
+        assert!(s.waiting.iter().any(|n| n == "not"));
+    }
+
+    #[test]
+    fn watchdog_quiet_when_handshakes_at_rest() {
+        let mut sim = Simulator::new();
+        let req = sim.add_signal("req", 1);
+        let ack = sim.add_signal("ack", 1);
+        sim.stimulus(req, &[(Time::ZERO, Value::zero(1))]);
+        sim.stimulus(ack, &[(Time::ZERO, Value::zero(1))]);
+        sim.watch_handshake("hs0", req, ack);
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.deadlock_report().is_none());
+    }
+
+    #[test]
+    fn event_limit_error_carries_watchdog_diagnosis() {
+        // The oscillation test's circuit, plus a watched pair that is
+        // mid-protocol while the loop spins.
+        let mut sim = Simulator::with_config(SimConfig { max_events: 1000, trace: false });
+        let kick = sim.add_signal("kick", 1);
+        let s = sim.add_signal("s", 1);
+        let r = sim.add_signal("r", 1);
+        let g1 = sim.add_component("g1", Not { a: s, y: r, delay: Time::from_ps(1) }, &[s]);
+        sim.connect_driver(g1, r).unwrap();
+        let g2 = sim.add_component("g2", Or { a: r, b: kick, y: s }, &[r, kick]);
+        sim.connect_driver(g2, s).unwrap();
+        let req = sim.add_signal("req", 1);
+        let ack = sim.add_signal("ack", 1);
+        sim.stimulus(req, &[(Time::ZERO, Value::one(1))]);
+        sim.stimulus(ack, &[(Time::ZERO, Value::zero(1))]);
+        sim.watch_handshake("stuck", req, ack);
+        sim.stimulus(
+            kick,
+            &[(Time::ZERO, Value::one(1)), (Time::from_ps(10), Value::zero(1))],
+        );
+        let err = sim.run_until(Time::from_ns(100)).unwrap_err();
+        let SimError::EventLimitExceeded { diagnosis: Some(report), .. } = err else {
+            panic!("expected event-limit error with diagnosis, got {err:?}");
+        };
+        assert_eq!(report.first_label(), Some("stuck"));
     }
 
     #[test]

@@ -87,10 +87,16 @@ pub fn build_as_interface(
         b.pop_scope();
     }
 
-    // Acknowledge: any latch-enable active, with a small matched delay
-    // so the data is captured before the handshake closes.
+    // Acknowledge: set by the write's latch-enable (with a small
+    // matched delay so the data is captured before the handshake
+    // closes) and held until the writer withdraws its request — a
+    // four-phase *level*, not a pulse. The latch-enable itself
+    // self-clears as soon as the occupancy flag sets, and a writer
+    // slower than that sliver (an arbitrarily derated deserializer)
+    // would simply never see it.
     let any_le = or_tree(b, "any_le", &les);
-    let ackout = b.buf_chain("ack_dly", any_le, 2);
+    let ack_sr = b.david_cell("ack_sr", any_le, nreq, Some(rstn), false);
+    let ackout = b.buf_chain("ack_dly", ack_sr, 2);
 
     // Local interconnect loads (see the matching note in the Fig 4
     // interface): incoming word bus fans out to all latches; latch

@@ -2,7 +2,7 @@
 //! Fig 9, with wire segments, block scopes matching the Fig 14 power
 //! breakdown, and the bookkeeping the measurement layer needs.
 
-use sal_cells::CircuitBuilder;
+use sal_cells::{BuildError, CircuitBuilder};
 use sal_des::{SignalId, Time};
 
 use crate::{
@@ -86,13 +86,25 @@ fn seg_params(b: &CircuitBuilder<'_>, cfg: &LinkConfig) -> (Time, f64) {
     (delay, energy)
 }
 
+/// Maps a configuration failure into the builder error channel.
+fn check_cfg(cfg: &LinkConfig) -> Result<(), BuildError> {
+    cfg.check().map_err(|message| BuildError::Config { message })
+}
+
 /// Builds the synchronous reference link I1 in scope `name`.
 ///
 /// The sending switch drives `flit_in`/`valid_in`; `cfg.buffers`
 /// elastic clocked buffers carry them across `cfg.length_um` of wire
 /// with full VALID/STALL flow control.
-pub fn build_i1(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> LinkHandles {
-    cfg.validate();
+///
+/// Returns the first netlist-construction or configuration error
+/// instead of panicking, so sweeps can probe unbuildable corners.
+pub fn build_i1(
+    b: &mut CircuitBuilder<'_>,
+    name: &str,
+    cfg: &LinkConfig,
+) -> Result<LinkHandles, BuildError> {
+    check_cfg(cfg)?;
     let clk = b.clock(&format!("{name}_clk"), cfg.clk_period);
     let rstn = b.input(&format!("{name}_rstn"), 1);
     b.push_scope(name);
@@ -100,7 +112,10 @@ pub fn build_i1(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> Lin
     let valid_in = b.input("valid_in", 1);
     let ports = build_sync_pipeline(b, "buffers", cfg, clk, rstn, flit_in, valid_in);
     b.pop_scope();
-    LinkHandles {
+    if let Some(e) = b.take_error() {
+        return Err(e);
+    }
+    Ok(LinkHandles {
         kind: LinkKind::I1Sync,
         clk,
         rstn,
@@ -113,15 +128,23 @@ pub fn build_i1(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> Lin
         scope: name.to_string(),
         clock_sinks: vec![(format!("{name}.buffers"), ports.clocked_bits)],
         clock_tree_um: cfg.length_um,
-    }
+    })
 }
 
 /// Builds the proposed asynchronous serialized link with per-transfer
 /// acknowledgement (I2) in scope `name`: sync→async interface,
 /// serializer, `cfg.buffers` four-phase wire buffers with wire
 /// segments between them, deserializer, async→sync interface.
-pub fn build_i2(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> LinkHandles {
-    cfg.validate();
+///
+/// Every four-phase req/ack pair along the link is registered with the
+/// kernel's handshake watchdog, so a wedged transfer yields a
+/// [`DeadlockReport`](sal_des::DeadlockReport) naming the stage.
+pub fn build_i2(
+    b: &mut CircuitBuilder<'_>,
+    name: &str,
+    cfg: &LinkConfig,
+) -> Result<LinkHandles, BuildError> {
+    check_cfg(cfg)?;
     let (seg_delay, seg_energy_per_um_bit) = seg_params(b, cfg);
     let clk = b.clock(&format!("{name}_clk"), cfg.clk_period);
     let rstn = b.input(&format!("{name}_rstn"), 1);
@@ -145,6 +168,8 @@ pub fn build_i2(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> Lin
 
     let ser = build_serializer(b, "ser", cfg, tx.dout, tx.reqout, acks_in[0], rstn);
     b.buf_into("ack_word_tx_drv", ack_word_tx, ser.ackout);
+    b.sim().watch_handshake(&format!("{name}.tx_if word"), tx.reqout, ack_word_tx);
+    b.sim().watch_handshake(&format!("{name}.ser slice"), ser.reqout, acks_in[0]);
 
     // Wire with buffers: segment → buffer → segment → … → segment.
     b.push_scope("wire");
@@ -152,6 +177,11 @@ pub fn build_i2(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> Lin
     let mut r = b.transport("seg_r0", ser.reqout, seg_delay, seg_energy_per_um_bit);
     for k in 0..nstations {
         let ports = build_wire_buffer(b, &format!("buf{k}"), d, r, acks_in[k + 1], rstn);
+        // Watch the stage boundary as the *upstream* side experiences
+        // it: its transported request against the transported
+        // acknowledge it listens to. A fault anywhere along the return
+        // path then shows up at the boundary that actually starves.
+        b.sim().watch_handshake(&format!("{name}.wire.buf{k} slice"), r, acks_in[k]);
         // The acknowledge travels back over segment k.
         b.transport_into(
             &format!("seg_a{k}"),
@@ -176,9 +206,14 @@ pub fn build_i2(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> Lin
 
     let rx = build_as_interface(b, "rx_if", cfg, clk, rstn, des.dout, des.reqout, stall_in);
     b.buf_into("ack_word_rx_drv", ack_word_rx, rx.ackout);
+    b.sim().watch_handshake(&format!("{name}.des slice"), r, acks_in[nstations]);
+    b.sim().watch_handshake(&format!("{name}.des word"), des.reqout, ack_word_rx);
 
     b.pop_scope();
-    LinkHandles {
+    if let Some(e) = b.take_error() {
+        return Err(e);
+    }
+    Ok(LinkHandles {
         kind: LinkKind::I2PerTransfer,
         clk,
         rstn,
@@ -196,15 +231,23 @@ pub fn build_i2(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> Lin
         // The interfaces sit at the switches; only a short local clock
         // stub is needed (no clocked elements along the wire).
         clock_tree_um: 200.0,
-    }
+    })
 }
 
 /// Builds the proposed asynchronous serialized link with per-word
 /// acknowledgement (I3) in scope `name`: the wire "buffers" are plain
 /// inverter pairs on the data/valid wires, and a single acknowledge
 /// wire (also repeated) returns once per word.
-pub fn build_i3(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> LinkHandles {
-    cfg.validate();
+///
+/// The word-level handshakes at both interfaces are registered with
+/// the kernel's handshake watchdog (the burst itself is
+/// source-synchronous and has no per-slice handshake to watch).
+pub fn build_i3(
+    b: &mut CircuitBuilder<'_>,
+    name: &str,
+    cfg: &LinkConfig,
+) -> Result<LinkHandles, BuildError> {
+    check_cfg(cfg)?;
     let (seg_delay, seg_energy) = seg_params(b, cfg);
     let clk = b.clock(&format!("{name}_clk"), cfg.clk_period);
     let rstn = b.input(&format!("{name}_rstn"), 1);
@@ -222,6 +265,7 @@ pub fn build_i3(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> Lin
     let tx = build_sa_interface(b, "tx_if", cfg, clk, rstn, flit_in, valid_in, ack_word_tx);
     let ser = build_word_serializer(b, "ser", cfg, tx.dout, tx.reqout, ack_back_heard, rstn);
     b.buf_into("ack_word_tx_drv", ack_word_tx, ser.ackout);
+    b.sim().watch_handshake(&format!("{name}.tx_if word"), tx.reqout, ack_word_tx);
 
     // Forward wire: data + valid through inverter-pair stations.
     b.push_scope("wire");
@@ -265,9 +309,13 @@ pub fn build_i3(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> Lin
 
     let rx = build_as_interface(b, "rx_if", cfg, clk, rstn, des.dout, des.reqout, stall_in);
     b.buf_into("ack_word_rx_drv", ack_word_rx, rx.ackout);
+    b.sim().watch_handshake(&format!("{name}.des word"), des.reqout, ack_word_rx);
 
     b.pop_scope();
-    LinkHandles {
+    if let Some(e) = b.take_error() {
+        return Err(e);
+    }
+    Ok(LinkHandles {
         kind: LinkKind::I3PerWord,
         clk,
         rstn,
@@ -283,7 +331,7 @@ pub fn build_i3(b: &mut CircuitBuilder<'_>, name: &str, cfg: &LinkConfig) -> Lin
             (format!("{name}.rx_if"), rx.clocked_bits),
         ],
         clock_tree_um: 200.0,
-    }
+    })
 }
 
 /// Builds a link of the given kind (dispatch helper for sweeps).
@@ -292,7 +340,7 @@ pub fn build_link(
     kind: LinkKind,
     name: &str,
     cfg: &LinkConfig,
-) -> LinkHandles {
+) -> Result<LinkHandles, BuildError> {
     match kind {
         LinkKind::I1Sync => build_i1(b, name, cfg),
         LinkKind::I2PerTransfer => build_i2(b, name, cfg),

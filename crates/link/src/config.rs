@@ -83,27 +83,39 @@ impl LinkConfig {
     ///
     /// Panics if widths are inconsistent (slice not dividing flit,
     /// widths zero or above 64), the FIFO depth is < 2, or the
-    /// oscillator stage count is even or < 3.
+    /// oscillator stage count is even or < 3. Library code that
+    /// prefers a graceful failure uses [`LinkConfig::check`].
     pub fn validate(&self) {
-        assert!(
-            self.flit_width >= 1 && self.flit_width <= 64,
-            "flit width must be 1..=64"
-        );
-        assert!(
-            self.slice_width >= 1 && self.slice_width <= self.flit_width,
-            "slice width must be 1..=flit width"
-        );
-        assert!(
-            self.flit_width % self.slice_width == 0,
-            "slice width must divide flit width"
-        );
-        assert!(self.flit_width / self.slice_width >= 2, "need at least 2 slices");
-        assert!(self.fifo_depth >= 2, "interface FIFO depth must be at least 2");
-        assert!(
-            self.osc_stages % 2 == 1 && self.osc_stages >= 3,
-            "ring oscillator needs an odd stage count >= 3"
-        );
-        assert!(self.length_um >= 0.0, "negative wire length");
+        if let Err(m) = self.check() {
+            panic!("{m}");
+        }
+    }
+
+    /// Non-panicking validation: `Err` carries the first inconsistency
+    /// found, as a human-readable message.
+    pub fn check(&self) -> Result<(), String> {
+        if !(self.flit_width >= 1 && self.flit_width <= 64) {
+            return Err("flit width must be 1..=64".into());
+        }
+        if !(self.slice_width >= 1 && self.slice_width <= self.flit_width) {
+            return Err("slice width must be 1..=flit width".into());
+        }
+        if self.flit_width % self.slice_width != 0 {
+            return Err("slice width must divide flit width".into());
+        }
+        if self.flit_width / self.slice_width < 2 {
+            return Err("need at least 2 slices".into());
+        }
+        if self.fifo_depth < 2 {
+            return Err("interface FIFO depth must be at least 2".into());
+        }
+        if !(self.osc_stages % 2 == 1 && self.osc_stages >= 3) {
+            return Err("ring oscillator needs an odd stage count >= 3".into());
+        }
+        if self.length_um < 0.0 {
+            return Err("negative wire length".into());
+        }
+        Ok(())
     }
 
     /// Number of slices per flit (`m / n`).

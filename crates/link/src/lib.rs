@@ -38,6 +38,7 @@ mod assembly;
 mod config;
 mod deserializer;
 mod sa_interface;
+mod scoreboard;
 mod serializer;
 mod sync_link;
 pub mod measure;
@@ -51,6 +52,7 @@ pub use assembly::{build_i1, build_i2, build_i3, build_link, LinkHandles, LinkKi
 pub use config::{LinkConfig, WordRxStyle};
 pub use deserializer::{build_deserializer, DeserializerPorts};
 pub use sa_interface::{build_sa_interface, SaInterfacePorts};
+pub use scoreboard::{check_integrity, IntegrityCounts};
 pub use serializer::{build_serializer, SerializerPorts};
 pub use sync_link::{build_skid_stage, build_sync_pipeline, SyncPipelinePorts};
 pub use wire_buffer::{build_wire_buffer, build_wire_buffer_chain, WireBufferPorts};

@@ -4,11 +4,12 @@
 //! reports 50 % usage: a 4-flit transfer taking ≈70 ns measured over a
 //! 140 ns window at 100 MHz).
 
-use sal_cells::{AreaLedger, CircuitBuilder};
-use sal_des::{SimError, Simulator, Time};
+use sal_cells::{AreaLedger, BuildError, CircuitBuilder};
+use sal_des::{DeadlockReport, FaultPlan, SimError, Simulator, Time};
 use sal_tech::{clock_power_uw, PowerBreakdown, PowerMeter, St012Library};
 
 use crate::assembly::build_link;
+use crate::scoreboard::{check_integrity, IntegrityCounts};
 use crate::testbench::{
     attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource,
 };
@@ -30,6 +31,19 @@ pub struct MeasureOptions {
     /// pass the 100 MHz run's window here to follow that protocol.
     /// `None` derives the window from this run's own in-use time.
     pub window_override: Option<Time>,
+    /// Fault plan applied to the simulator before the run (delay
+    /// derating/sigma, stuck-ats, glitches, bundled-data skew).
+    /// `None`/empty keeps the kernel on its fault-free fast path, so
+    /// clean measurements are bit-identical to builds without this
+    /// field.
+    pub fault_plan: Option<FaultPlan>,
+    /// How long reset is asserted before the transfer starts. Must
+    /// cover the slowest control path's settling time, or undefined
+    /// (X) values latch into the asynchronous state cells exactly as
+    /// in unreset silicon. The 2 ns default covers the longest
+    /// matched-delay chain at the slow technology corner; fault plans
+    /// that derate gate delays need this stretched proportionally.
+    pub reset_hold: Time,
 }
 
 impl Default for MeasureOptions {
@@ -39,9 +53,62 @@ impl Default for MeasureOptions {
             timeout: Time::from_us(50),
             lib: St012Library::default(),
             window_override: None,
+            fault_plan: None,
+            reset_hold: Time::from_ns(2),
         }
     }
 }
+
+/// Why a checked run did not produce a measurement.
+#[derive(Debug)]
+pub enum RunFailure {
+    /// The netlist could not be constructed (bad config, double
+    /// drivers…).
+    Build(BuildError),
+    /// The fault plan named a signal that does not exist.
+    Fault(SimError),
+    /// The transfer wedged: not every word was delivered before the
+    /// timeout (or the kernel hit its event limit). When the handshake
+    /// watchdog recognises a stalled req/ack pair, `diagnosis` names
+    /// it.
+    Deadlock {
+        /// Link label (I1/I2/I3).
+        kind: LinkKind,
+        /// Words delivered before the stall.
+        delivered: usize,
+        /// Words expected.
+        expected: usize,
+        /// Simulated time at which the run was abandoned.
+        at: Time,
+        /// Watchdog analysis of the stalled handshakes, if any.
+        diagnosis: Option<DeadlockReport>,
+    },
+    /// The simulator failed for another reason.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFailure::Build(e) => write!(f, "netlist construction failed: {e}"),
+            RunFailure::Fault(e) => write!(f, "fault plan rejected: {e}"),
+            RunFailure::Deadlock { kind, delivered, expected, at, diagnosis } => {
+                write!(
+                    f,
+                    "{} deadlocked: {delivered}/{expected} words delivered by {at}",
+                    kind.label()
+                )?;
+                if let Some(d) = diagnosis {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
+            }
+            RunFailure::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunFailure {}
 
 /// The outcome of one measured transfer.
 #[derive(Debug)]
@@ -69,6 +136,8 @@ pub struct LinkRun {
     /// Kernel events processed over the whole run (netlist activity
     /// metric; useful for throughput accounting in benchmarks).
     pub events: u64,
+    /// End-to-end data-integrity verdict (sent vs received payloads).
+    pub integrity: IntegrityCounts,
 }
 
 impl LinkRun {
@@ -166,20 +235,41 @@ pub fn run_flits(
     words: &[u64],
     opts: &MeasureOptions,
 ) -> LinkRun {
+    match run_flits_checked(kind, cfg, words, opts) {
+        Ok(run) => run,
+        Err(e) => panic!("{e} (cfg: {cfg:?})"),
+    }
+}
+
+/// Non-panicking [`run_flits`]: a deadlock, a build failure or a bad
+/// fault plan comes back as a [`RunFailure`] — with the handshake
+/// watchdog's [`DeadlockReport`] attached when the stall is a wedged
+/// req/ack pair. This is the entry point the robustness sweeps probe
+/// failure boundaries through.
+pub fn run_flits_checked(
+    kind: LinkKind,
+    cfg: &LinkConfig,
+    words: &[u64],
+    opts: &MeasureOptions,
+) -> Result<LinkRun, RunFailure> {
     assert!(opts.usage > 0.0 && opts.usage <= 1.0, "usage must be in (0, 1]");
     let mut sim = Simulator::new();
     let mut builder = CircuitBuilder::new(&mut sim, &opts.lib);
-    let handles = build_link(&mut builder, kind, "link", cfg);
+    let handles = build_link(&mut builder, kind, "link", cfg).map_err(RunFailure::Build)?;
     let area = builder.finish();
+    if let Some(plan) = &opts.fault_plan {
+        sim.apply_fault_plan(plan).map_err(RunFailure::Fault)?;
+    }
 
     // Hold reset until every control path has settled to a defined
     // level (standard reset-deassertion practice: an X arriving at an
     // asynchronous state cell after release would latch, exactly like
-    // unreset silicon). 2 ns covers the longest matched-delay chain at
-    // the slow technology corner.
+    // unreset silicon). `opts.reset_hold` defaults to 2 ns — the
+    // longest matched-delay chain at the slow technology corner — and
+    // is stretched by fault plans that derate gate delays.
     sim.stimulus(
         handles.rstn,
-        &[(Time::ZERO, sal_des::Value::zero(1)), (Time::from_ns(2), sal_des::Value::one(1))],
+        &[(Time::ZERO, sal_des::Value::zero(1)), (opts.reset_hold, sal_des::Value::one(1))],
     );
     let (src, sent) = SyncFlitSource::new(
         handles.clk,
@@ -208,17 +298,28 @@ pub fn run_flits(
             break;
         }
         if now >= opts.timeout {
-            panic!(
-                "{} deadlocked: {}/{} words delivered by {now} (cfg: {cfg:?})",
-                kind.label(),
-                received.borrow().len(),
-                words.len()
-            );
+            return Err(RunFailure::Deadlock {
+                kind,
+                delivered: received.borrow().len(),
+                expected: words.len(),
+                at: now,
+                diagnosis: sim.deadlock_report(),
+            });
         }
         match sim.run_for(slice) {
             Ok(_) => {}
-            Err(e @ SimError::EventLimitExceeded { .. }) => panic!("simulation runaway: {e}"),
-            Err(e) => panic!("simulation error: {e}"),
+            Err(SimError::EventLimitExceeded { at, diagnosis, .. }) => {
+                // The kernel already ran the watchdog when it gave up;
+                // reuse its analysis rather than re-deriving it.
+                return Err(RunFailure::Deadlock {
+                    kind,
+                    delivered: received.borrow().len(),
+                    expected: words.len(),
+                    at,
+                    diagnosis: diagnosis.map(|d| *d),
+                });
+            }
+            Err(e) => return Err(RunFailure::Sim(e)),
         }
     }
 
@@ -235,7 +336,7 @@ pub fn run_flits(
     });
     let t_window_end = sent.first().map(|&(t, _)| t).unwrap_or(Time::ZERO) + window;
     if sim.now() < t_window_end {
-        sim.run_until(t_window_end).expect("idle tail run failed");
+        sim.run_until(t_window_end).map_err(RunFailure::Sim)?;
     }
     let sim_power = {
         // The meter measured since t=0; rescale to the usage window.
@@ -257,7 +358,12 @@ pub fn run_flits(
         })
         .collect();
 
-    LinkRun {
+    let integrity = check_integrity(
+        &sent.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
+        &received.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
+    );
+
+    Ok(LinkRun {
         kind,
         cfg: cfg.clone(),
         sent,
@@ -269,7 +375,8 @@ pub fn run_flits(
         area,
         scope: handles.scope,
         events: sim.events_processed(),
-    }
+        integrity,
+    })
 }
 
 #[cfg(test)]

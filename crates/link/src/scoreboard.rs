@@ -1,0 +1,150 @@
+//! End-to-end data-integrity scoreboard.
+//!
+//! The fault-injection experiments need a sharper verdict than "the
+//! run finished": a marginal link can deliver the right *number* of
+//! words with the wrong *contents* (bundled-data skew corrupting late
+//! bits), deliver a word twice (a re-fired handshake), drop one, or
+//! reorder neighbours. [`check_integrity`] compares the sent and
+//! received word streams and classifies every discrepancy.
+
+/// Counts of end-to-end delivery failures for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityCounts {
+    /// Words offered by the sending switch.
+    pub sent: usize,
+    /// Words delivered to the receiving switch.
+    pub received: usize,
+    /// Delivered words whose payload matches no pending sent word at
+    /// that position (bit errors in flight).
+    pub corrupted: usize,
+    /// Sent words that never arrived.
+    pub lost: usize,
+    /// Words delivered more times than they were sent.
+    pub duplicated: usize,
+    /// Words delivered out of order relative to the send stream.
+    pub reordered: usize,
+}
+
+impl IntegrityCounts {
+    /// `true` when every word arrived exactly once, in order, intact.
+    pub fn is_clean(&self) -> bool {
+        self.sent == self.received
+            && self.corrupted == 0
+            && self.lost == 0
+            && self.duplicated == 0
+            && self.reordered == 0
+    }
+
+    /// Total number of integrity violations of any class.
+    pub fn violations(&self) -> usize {
+        self.corrupted + self.lost + self.duplicated + self.reordered
+    }
+}
+
+impl std::fmt::Display for IntegrityCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} delivered, {} corrupted, {} lost, {} duplicated, {} reordered",
+            self.received, self.sent, self.corrupted, self.lost, self.duplicated, self.reordered
+        )
+    }
+}
+
+/// Compares the received word stream against the sent stream.
+///
+/// Classification walks both streams with a matching window:
+///
+/// * a received word equal to the next unmatched sent word is a clean,
+///   in-order delivery;
+/// * a received word equal to a *later* pending sent word is counted
+///   as `reordered` (the skipped sent words stay pending);
+/// * a received word equal to an *already matched* sent word is
+///   `duplicated`;
+/// * anything else is `corrupted`;
+/// * pending sent words left at the end are `lost`.
+pub fn check_integrity(sent: &[u64], received: &[u64]) -> IntegrityCounts {
+    let mut counts = IntegrityCounts {
+        sent: sent.len(),
+        received: received.len(),
+        ..IntegrityCounts::default()
+    };
+    let mut matched = vec![false; sent.len()];
+    // Next in-order candidate: first unmatched sent index.
+    let mut cursor = 0usize;
+    for &w in received {
+        while cursor < sent.len() && matched[cursor] {
+            cursor += 1;
+        }
+        if cursor < sent.len() && sent[cursor] == w {
+            matched[cursor] = true;
+            continue;
+        }
+        // Out-of-order: some later pending word?
+        if let Some(j) = (cursor..sent.len()).find(|&j| !matched[j] && sent[j] == w) {
+            matched[j] = true;
+            counts.reordered += 1;
+            continue;
+        }
+        // Re-delivery of something already matched?
+        if sent.iter().zip(&matched).any(|(&s, &m)| m && s == w) {
+            counts.duplicated += 1;
+            continue;
+        }
+        counts.corrupted += 1;
+    }
+    counts.lost = matched.iter().filter(|&&m| !m).count();
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_is_clean() {
+        let words = [1u64, 2, 3, 4];
+        let c = check_integrity(&words, &words);
+        assert!(c.is_clean(), "{c}");
+        assert_eq!(c.violations(), 0);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let c = check_integrity(&[1, 2, 3], &[1, 0xBAD, 3]);
+        assert_eq!(c.corrupted, 1);
+        assert_eq!(c.lost, 1); // the real word 2 never arrived
+        assert!(!c.is_clean());
+    }
+
+    #[test]
+    fn loss_detected() {
+        let c = check_integrity(&[1, 2, 3], &[1, 3]);
+        assert_eq!(c.lost, 1);
+        assert_eq!(c.reordered, 1); // 3 arrived while 2 was pending
+        assert_eq!(c.corrupted, 0);
+    }
+
+    #[test]
+    fn duplication_detected() {
+        let c = check_integrity(&[1, 2], &[1, 1, 2]);
+        assert_eq!(c.duplicated, 1);
+        assert_eq!(c.lost, 0);
+    }
+
+    #[test]
+    fn reorder_detected() {
+        let c = check_integrity(&[1, 2, 3, 4], &[1, 3, 2, 4]);
+        assert_eq!(c.reordered, 1);
+        assert_eq!(c.lost, 0);
+        assert_eq!(c.corrupted, 0);
+    }
+
+    #[test]
+    fn repeated_payloads_match_pairwise() {
+        // The same value sent twice and received twice is clean even
+        // though the payloads are indistinguishable.
+        let c = check_integrity(&[7, 7, 8], &[7, 7, 8]);
+        assert!(c.is_clean(), "{c}");
+    }
+}

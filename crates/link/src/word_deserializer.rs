@@ -64,7 +64,19 @@ pub fn build_word_deserializer(
     // a new word arriving while a slow interface still holds the
     // previous acknowledge high does not violate the four-phase
     // protocol (request must only rise when acknowledge is low).
-    let reqout = b.and2("reqout", pulses[k - 1], nack);
+    //
+    // `served` closes a delay-sensitive window: between the
+    // acknowledge's return to zero (interface-paced) and the pulse
+    // register's actual clearing (our own reset path), `pulses[k-1]`
+    // is still high and the request would re-rise for a word the
+    // interface already took — a duplicate delivery. The guard is set
+    // with the clear one-shot and released only once the pulse
+    // register is visibly empty, making the handoff insensitive to
+    // how slow the clear path is relative to the interface.
+    let npulse = b.inv("npulse", pulses[k - 1]);
+    let served = b.david_cell("served", clear_pulse, npulse, Some(rstn), false);
+    let nserved = b.inv("nserved", served);
+    let reqout = b.and3("reqout", pulses[k - 1], nack, nserved);
 
     // Word acknowledge back to the transmitter: set by the interface
     // taking the word (the acknowledge's rising edge — the level may
@@ -113,7 +125,14 @@ pub fn build_word_deserializer_demux(
     let done_rstn = b.and2("done_rstn", rstn, nclear);
     let done = b.dff("done", tokens[k - 1], nvalid, Some(done_rstn));
     let nack = b.inv("nack", ackin);
-    let reqout = b.and2("reqout", done, nack);
+    // Same served guard as the shift-register receiver: `done` clears
+    // through our (possibly slow) reset path while the interface's
+    // acknowledge returns to zero at its own pace — without the guard
+    // the request re-rises for an already-taken word.
+    let ndone = b.inv("ndone", done);
+    let served = b.david_cell("served", clear_pulse, ndone, Some(rstn), false);
+    let nserved = b.inv("nserved", served);
+    let reqout = b.and3("reqout", done, nack, nserved);
 
     let ack_back = b.david_cell("ack_back", clear_pulse, valid, Some(rstn), false);
 
@@ -171,9 +190,14 @@ pub fn build_word_deserializer_early(
     let took = b.and2("took", ackin, nack_d);
     b.david_cell_into("hold_sr", hold_full, copy_d, took, Some(rstn), false);
 
-    // Downstream handshake from the holding register.
+    // Downstream handshake from the holding register, with the served
+    // guard (see the shift-register receiver): the request must not
+    // re-rise between the acknowledge's fall and `hold_full` actually
+    // clearing through the David cell.
     let nack = b.inv("nack", ackin);
-    let reqout = b.and2("reqout", hold_full, nack);
+    let served = b.david_cell("served", took, hold_free, Some(rstn), false);
+    let nserved = b.inv("nserved", served);
+    let reqout = b.and3("reqout", hold_full, nack, nserved);
 
     // EARLY acknowledge: returned at the copy, not at the interface
     // handshake; cleared by the next burst's first strobe.

@@ -83,8 +83,14 @@ pub fn build_word_serializer(
     let min_stages = 13 + 4 * (levels.saturating_sub(1));
     let stages = cfg.osc_stages.max(min_stages) | 1;
     let osc = b.ring_oscillator_stages("osc", burst, stages);
-    let valid = b.and3("valid", burst, osc, ndone);
-    let nvalid = b.inv("nvalid", valid);
+    let valid_core = b.and3("valid", burst, osc, ndone);
+    let nvalid = b.inv("nvalid", valid_core);
+    // The exported strobe trails the internal one by a short matched
+    // delay: the slice mux settles on the strobe's *previous* fall, but
+    // the first slice of a burst races the strobe out of the same
+    // launch event, and the receiver's shift register needs data valid
+    // strictly before its clock. Tuning VALID is the paper's §IV knob.
+    let valid = b.buf_chain("valid_dly", valid_core, 3);
 
     // Slice select ring, advanced at each VALID fall.
     let tokens = b.ring_counter("sel", nvalid, Some(rstn), k);

@@ -28,13 +28,22 @@ use std::fmt::Write as _;
 /// Energies are printed as `f64::to_bits` hex so the comparison is
 /// bit-exact, immune to formatting rounding.
 fn replay(kind: LinkKind) -> String {
+    replay_with(kind, true)
+}
+
+fn replay_with(kind: LinkKind, empty_plan: bool) -> String {
     let cfg = LinkConfig::default();
     let opts = MeasureOptions::default();
     let words = worst_case_pattern(4, 32);
     let mut sim = Simulator::new();
     let mut builder = CircuitBuilder::new(&mut sim, &opts.lib);
-    let handles = build_link(&mut builder, kind, "link", &cfg);
+    let handles = build_link(&mut builder, kind, "link", &cfg).expect("link builds");
     let _area = builder.finish();
+    // An *empty* fault plan must be a no-op: the kernel keeps its
+    // fault-free fast path, so the fixture stays byte-identical.
+    if empty_plan {
+        sim.apply_fault_plan(&sal_des::FaultPlan::new(42)).expect("empty plan applies");
+    }
     sim.stimulus(
         handles.rstn,
         &[(Time::ZERO, Value::zero(1)), (Time::from_ns(2), Value::one(1))],
@@ -104,4 +113,15 @@ fn golden_replay_i2_and_i3() {
 fn replay_is_deterministic_within_process() {
     assert_eq!(replay(LinkKind::I2PerTransfer), replay(LinkKind::I2PerTransfer));
     assert_eq!(replay(LinkKind::I3PerWord), replay(LinkKind::I3PerWord));
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        assert_eq!(
+            replay_with(kind, true),
+            replay_with(kind, false),
+            "an empty FaultPlan must not perturb the kernel"
+        );
+    }
 }

@@ -1,0 +1,134 @@
+//! Fault-injection robustness tests: the handshake watchdog turns a
+//! wedged link into a structured diagnosis, the integrity scoreboard
+//! catches silently corrupted payloads, and seeded fault runs are
+//! bit-reproducible.
+
+use sal_des::{FaultPlan, Time};
+use sal_link::measure::{run_flits_checked, MeasureOptions, RunFailure};
+use sal_link::testbench::worst_case_pattern;
+use sal_link::{LinkConfig, LinkKind};
+
+fn opts_with(plan: FaultPlan) -> MeasureOptions {
+    MeasureOptions {
+        // Fail fast: a wedged link never recovers, no need to wait the
+        // default 50 µs before diagnosing.
+        timeout: Time::from_us(5),
+        fault_plan: Some(plan),
+        ..MeasureOptions::default()
+    }
+}
+
+#[test]
+fn i2_ack_stuck_at_is_diagnosed_not_a_bare_panic() {
+    // Wedge the slice acknowledge heard by wire buffer 1 (`ack_in2` is
+    // driven back from buffer 2). The four-phase protocol can never
+    // complete its return-to-zero, so the link must stall — and the
+    // watchdog must say *where*, not just that an event limit or
+    // timeout was hit.
+    let plan = FaultPlan::new(7).stuck_at("link.ack_in2", false, Time::from_ns(5));
+    let words = worst_case_pattern(4, 32);
+    let cfg = LinkConfig::default();
+    match run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
+        Err(RunFailure::Deadlock { diagnosis, delivered, expected, .. }) => {
+            assert!(delivered < expected, "stall must lose words");
+            let report = diagnosis.expect("watchdog should recognise the wedged handshake");
+            let text = report.to_string();
+            assert!(
+                report.stalled.iter().any(|s| s.label.contains("buf") || s.label.contains("ser")),
+                "diagnosis should name a slice-level handshake, got: {text}"
+            );
+        }
+        Ok(run) => panic!(
+            "expected a deadlock, but the run completed ({})",
+            run.integrity
+        ),
+        Err(other) => panic!("expected a deadlock diagnosis, got: {other}"),
+    }
+}
+
+#[test]
+fn unknown_fault_target_is_rejected() {
+    let plan = FaultPlan::new(1).stuck_at("link.no_such_wire", false, Time::ZERO);
+    let words = worst_case_pattern(2, 32);
+    let cfg = LinkConfig::default();
+    match run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
+        Err(RunFailure::Fault(e)) => assert!(e.to_string().contains("no_such_wire")),
+        other => panic!("expected a fault-plan rejection, got: {other:?}"),
+    }
+}
+
+#[test]
+fn scoreboard_flags_corrupted_payloads() {
+    // Freeze the first data segment of the I2 wire mid-run: handshakes
+    // keep completing (req/ack wires untouched) but the payload stops
+    // following the serializer, so delivered words go wrong. The run
+    // "succeeds" by word count — only the scoreboard sees the damage.
+    let plan = FaultPlan::new(3).stuck_at("link.wire.seg_d0", false, Time::from_ns(5));
+    let words = worst_case_pattern(4, 32);
+    let cfg = LinkConfig::default();
+    match run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
+        Ok(run) => {
+            assert!(
+                !run.integrity.is_clean(),
+                "frozen data wire must corrupt payloads: {}",
+                run.integrity
+            );
+            assert!(run.integrity.corrupted > 0, "{}", run.integrity);
+        }
+        // Depending on where the freeze lands in the protocol the
+        // dropped data edge can also stall completion detection; a
+        // *diagnosed* deadlock is an acceptable outcome too.
+        Err(RunFailure::Deadlock { .. }) => {}
+        Err(other) => panic!("unexpected failure: {other}"),
+    }
+}
+
+#[test]
+fn clean_run_has_clean_scoreboard() {
+    let words = worst_case_pattern(4, 32);
+    let cfg = LinkConfig::default();
+    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        let run = run_flits_checked(kind, &cfg, &words, &MeasureOptions::default())
+            .expect("clean run completes");
+        assert!(run.integrity.is_clean(), "{}: {}", kind.label(), run.integrity);
+    }
+}
+
+#[test]
+fn seeded_fault_runs_are_bit_reproducible() {
+    // Monte-Carlo delay variation with a fixed seed must give the same
+    // delivery timeline and the same energy totals on every run.
+    let words = worst_case_pattern(4, 32);
+    let cfg = LinkConfig::default();
+    let mk = || {
+        let plan = FaultPlan::new(12345)
+            .with_delay_sigma(0.05)
+            .in_scope("link.ser")
+            .in_scope("link.des")
+            .in_scope("link.wire");
+        run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan))
+            .expect("mild sigma should not break the link")
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.sent, b.sent);
+    assert_eq!(a.received, b.received);
+    assert_eq!(a.events, b.events);
+    // A different seed must still complete (I2's four-phase protocol
+    // tolerates delay variation) but perturb the run — the kernel
+    // event count is a sensitive fingerprint of the internal timeline
+    // even when delivery lands on the same clock edges.
+    let plan = FaultPlan::new(99999)
+        .with_delay_sigma(0.20)
+        .in_scope("link.ser")
+        .in_scope("link.des")
+        .in_scope("link.wire");
+    let c = run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan))
+        .expect("sigma within margin should not break the link");
+    assert!(c.integrity.is_clean(), "{}", c.integrity);
+    assert_ne!(
+        (a.events, a.received.clone()),
+        (c.events, c.received.clone()),
+        "sigma had no observable effect"
+    );
+}

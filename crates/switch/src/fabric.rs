@@ -101,7 +101,10 @@ pub fn build_mesh_fabric(
                        op: usize,
                        to: usize,
                        ip: usize| {
-        let l = build_link(b, kind, &tag, cfg);
+        let l = match build_link(b, kind, &tag, cfg) {
+            Ok(l) => l,
+            Err(e) => panic!("fabric link '{tag}' failed to build: {e}"),
+        };
         rstns.push(l.rstn);
         b.buf_into(&format!("{tag}_fi"), l.flit_in, switches[from].flit_out[op]);
         b.buf_into(&format!("{tag}_vi"), l.valid_in, switches[from].valid_out[op]);

@@ -19,7 +19,7 @@ fn harness(
     let mut sim = Simulator::new();
     let lib = St012Library::default();
     let mut b = CircuitBuilder::new(&mut sim, &lib);
-    let h = build_link(&mut b, kind, "link", cfg);
+    let h = build_link(&mut b, kind, "link", cfg).expect("link builds");
     b.finish();
     sim.stimulus(
         h.rstn,
@@ -113,7 +113,7 @@ fn slow_reset_release_is_tolerated() {
         let mut sim = Simulator::new();
         let lib = St012Library::default();
         let mut b = CircuitBuilder::new(&mut sim, &lib);
-        let h = build_link(&mut b, kind, "link", &cfg);
+        let h = build_link(&mut b, kind, "link", &cfg).expect("link builds");
         b.finish();
         // Reset held for 20 clock cycles.
         sim.stimulus(
