@@ -1,7 +1,7 @@
 //! Criterion benchmarks of full gate-level link transfers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sal_link::measure::{run_flits, MeasureOptions};
+use sal_link::measure::{run, MeasureOptions};
 use sal_link::testbench::worst_case_pattern;
 use sal_link::{LinkConfig, LinkKind};
 
@@ -12,7 +12,7 @@ fn bench_links(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
             let cfg = LinkConfig::default();
             let words = worst_case_pattern(4, 32);
-            b.iter(|| run_flits(kind, &cfg, &words, &MeasureOptions::default()).total_power_uw())
+            b.iter(|| run(kind, &cfg, &words, &MeasureOptions::default()).expect("clean run").total_power_uw())
         });
     }
     g.finish();

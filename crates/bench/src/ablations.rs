@@ -3,7 +3,7 @@
 //! width, receiver datapath style, and technology corners.
 
 use sal_des::Time;
-use sal_link::measure::{run_flits, MeasureOptions};
+use sal_link::measure::{run, MeasureOptions};
 use sal_link::testbench::worst_case_pattern;
 use sal_link::{LinkConfig, LinkKind, WordRxStyle};
 use sal_tech::{Corner, St012Library};
@@ -27,7 +27,7 @@ fn saturation(cfg: &LinkConfig) -> f64 {
     // self-timed rate.
     let fast = LinkConfig { clk_period: Time::from_ps(1000), ..cfg.clone() };
     let words: Vec<u64> = (0..24).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
-    let run = run_flits(LinkKind::I3PerWord, &fast, &words, &MeasureOptions::default());
+    let run = run(LinkKind::I3PerWord, &fast, &words, &MeasureOptions::default()).expect("clean run");
     assert_eq!(run.received.len(), words.len(), "saturation run incomplete");
     run.throughput_mflits()
 }
@@ -65,12 +65,12 @@ pub struct SliceRow {
 pub fn slice_width() -> Vec<SliceRow> {
     sweep_map(vec![16u8, 8, 4], |slice_width| {
         let cfg = LinkConfig { slice_width, ..LinkConfig::default() };
-        let power = run_flits(
+        let power = run(
             LinkKind::I3PerWord,
             &cfg,
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
-        )
+        ).expect("clean run")
         .total_power_uw();
         SliceRow {
             slice_width,
@@ -99,12 +99,12 @@ pub struct RxStyleRow {
 pub fn rx_style() -> Vec<RxStyleRow> {
     sweep_map(vec![WordRxStyle::ShiftRegister, WordRxStyle::Demux], |style| {
         let cfg = LinkConfig { word_rx_style: style, ..LinkConfig::default() };
-        let run = run_flits(
+        let run = run(
             LinkKind::I3PerWord,
             &cfg,
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
-        );
+        ).expect("clean run");
         RxStyleRow {
             style,
             des_power_uw: run.sim_power_uw("link.des"),
@@ -138,12 +138,12 @@ pub fn corners() -> Vec<CornerRow> {
         };
         let words: Vec<u64> = (0..24).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
         let i3 =
-            run_flits(LinkKind::I3PerWord, &fast_cfg, &words, &opts).throughput_mflits();
+            run(LinkKind::I3PerWord, &fast_cfg, &words, &opts).expect("clean run").throughput_mflits();
         let sync_cfg = LinkConfig {
             clk_period: Time::from_ns_f64(10.0 / 3.0),
             ..LinkConfig::default()
         };
-        let i1 = run_flits(LinkKind::I1Sync, &sync_cfg, &words, &opts).throughput_mflits();
+        let i1 = run(LinkKind::I1Sync, &sync_cfg, &words, &opts).expect("clean run").throughput_mflits();
         CornerRow { corner, i3_saturation_mflits: i3, i1_mflits: i1 }
     })
 }

@@ -2,7 +2,7 @@
 
 use sal_analytic::{fig10_series, Fig10Point, PerTransferDelay, PerWordDelay};
 use sal_des::Time;
-use sal_link::measure::{run_flits, BlockPower, LinkRun, MeasureOptions};
+use sal_link::measure::{run, BlockPower, LinkRun, MeasureOptions};
 use sal_link::testbench::worst_case_pattern;
 use sal_link::{LinkConfig, LinkKind};
 use sal_noc::{LinkModel, Mesh, Network, NetworkConfig, TrafficPattern};
@@ -58,7 +58,7 @@ pub fn fig10() -> Fig10 {
     for mhz in [100.0_f64, 200.0, 300.0] {
         let c = LinkConfig { clk_period: Time::from_hz(mhz * 1e6), ..cfg.clone() };
         let words: Vec<u64> = (0..16).map(|i| (i * 0x0137_9BDF) & 0xFFFF_FFFF).collect();
-        let run = run_flits(LinkKind::I3PerWord, &c, &words, &MeasureOptions::default());
+        let run = run(LinkKind::I3PerWord, &c, &words, &MeasureOptions::default()).expect("clean run");
         measured.push((mhz, run.throughput_mflits()));
     }
     Fig10 { series, upper_bound_mflits: ub, measured_i3_mflits: measured }
@@ -141,7 +141,7 @@ pub fn fig13() -> Vec<PowerRow> {
             window_override: lookup(kind, buffers),
             ..MeasureOptions::default()
         };
-        let run = run_flits(kind, &cfg, &worst_case_pattern(4, 32), &opts);
+        let run = run(kind, &cfg, &worst_case_pattern(4, 32), &opts).expect("clean run");
         PowerRow { kind, buffers, power_uw: run.total_power_uw() }
     })
 }
@@ -154,7 +154,7 @@ fn power_runs(clk: Time, window: Option<Time>) -> Vec<LinkRun> {
     sweep_map(points, |(kind, buffers)| {
         let cfg = cfg_at(buffers, clk);
         let opts = MeasureOptions { window_override: window, ..MeasureOptions::default() };
-        run_flits(kind, &cfg, &worst_case_pattern(4, 32), &opts)
+        run(kind, &cfg, &worst_case_pattern(4, 32), &opts).expect("clean run")
     })
 }
 
@@ -185,7 +185,7 @@ pub fn fig14() -> Vec<Fig14Row> {
         .iter()
         .map(|&kind| {
             let cfg = cfg_at(4, clk_100mhz());
-            let run = run_flits(kind, &cfg, &worst_case_pattern(4, 32), &MeasureOptions::default());
+            let run = run(kind, &cfg, &worst_case_pattern(4, 32), &MeasureOptions::default()).expect("clean run");
             Fig14Row { kind, blocks: run.block_power() }
         })
         .collect()
@@ -263,7 +263,7 @@ fn build_only(kind: LinkKind) -> LinkRun {
     // A short functional run so the structure is exercised; area does
     // not depend on the traffic.
     let cfg = LinkConfig::default();
-    run_flits(kind, &cfg, &worst_case_pattern(2, 32), &MeasureOptions::default())
+    run(kind, &cfg, &worst_case_pattern(2, 32), &MeasureOptions::default()).expect("clean run")
 }
 
 // ---------------------------------------------------------------------
@@ -322,12 +322,12 @@ pub fn delay_check() -> DelayCheck {
     // link; the FIFO interfaces throttle to the self-timed rate.
     let fast = LinkConfig { clk_period: Time::from_ps(1000), ..cfg };
     let words: Vec<u64> = (0..24).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
-    let run = run_flits(LinkKind::I3PerWord, &fast, &words, &MeasureOptions::default());
-    let run_i2 = run_flits(LinkKind::I2PerTransfer, &fast, &words, &MeasureOptions::default());
+    let run_i3 = run(LinkKind::I3PerWord, &fast, &words, &MeasureOptions::default()).expect("clean run");
+    let run_i2 = run(LinkKind::I2PerTransfer, &fast, &words, &MeasureOptions::default()).expect("clean run");
     DelayCheck {
         paper_analytic_mflits: paper,
         our_analytic_mflits: ours,
-        simulated_mflits: run.throughput_mflits(),
+        simulated_mflits: run_i3.throughput_mflits(),
         i2_analytic_mflits: i2_analytic,
         i2_simulated_mflits: run_i2.throughput_mflits(),
     }
@@ -359,14 +359,14 @@ pub fn headline() -> Headline {
     // the 100 MHz run).
     let words = worst_case_pattern(4, 32);
     let c100 = cfg_at(8, clk_100mhz());
-    let base = run_flits(LinkKind::I1Sync, &c100, &words, &MeasureOptions::default());
+    let base = run(LinkKind::I1Sync, &c100, &words, &MeasureOptions::default()).expect("clean run");
     let opts = MeasureOptions {
         window_override: Some(base.window),
         ..MeasureOptions::default()
     };
     let c300 = cfg_at(8, clk_300mhz());
-    let i1 = run_flits(LinkKind::I1Sync, &c300, &words, &opts);
-    let i3 = run_flits(LinkKind::I3PerWord, &c300, &words, &opts);
+    let i1 = run(LinkKind::I1Sync, &c300, &words, &opts).expect("clean run");
+    let i3 = run(LinkKind::I3PerWord, &c300, &words, &opts).expect("clean run");
     let power_reduction = 1.0 - i3.total_power_uw() / i1.total_power_uw();
 
     let areas = table1();

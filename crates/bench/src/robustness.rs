@@ -26,7 +26,7 @@
 //! when every word arrives.
 
 use sal_des::{FaultPlan, Time};
-use sal_link::measure::{run_flits_checked, MeasureOptions, RunFailure};
+use sal_link::measure::{run, MeasureOptions, RunFailure};
 use sal_link::testbench::worst_case_pattern;
 use sal_link::{LinkConfig, LinkKind};
 
@@ -170,7 +170,7 @@ fn probe_opts(plan: FaultPlan, slowdown: f64) -> MeasureOptions {
 }
 
 fn classify(kind: LinkKind, plan: FaultPlan, words: &[u64], slowdown: f64) -> Outcome {
-    match run_flits_checked(kind, &LinkConfig::default(), words, &probe_opts(plan, slowdown)) {
+    match run(kind, &LinkConfig::default(), words, &probe_opts(plan, slowdown)) {
         Ok(run) if run.integrity.is_clean() => Outcome::Pass,
         Ok(run) => Outcome::Corrupt { violations: run.integrity.violations() },
         Err(RunFailure::Deadlock { diagnosis, .. }) => Outcome::Deadlock {
@@ -263,7 +263,7 @@ pub fn deadlock_demo() -> DeadlockDemo {
         fault_plan: Some(plan),
         ..MeasureOptions::default()
     };
-    match run_flits_checked(LinkKind::I2PerTransfer, &LinkConfig::default(), &words, &opts) {
+    match run(LinkKind::I2PerTransfer, &LinkConfig::default(), &words, &opts) {
         Err(RunFailure::Deadlock { diagnosis, .. }) => {
             let stalled = diagnosis.as_ref().and_then(|d| d.first_label().map(str::to_string));
             let report = diagnosis

@@ -63,6 +63,7 @@ mod signal;
 mod sim;
 mod stats;
 mod time;
+pub mod trace;
 mod value;
 pub mod vcd;
 mod watchdog;
@@ -73,7 +74,10 @@ pub use fault::{FaultPlan, Glitch, SkewRule, StuckAt};
 pub use scope::{ScopeId, ScopePath};
 pub use signal::{SignalId, SignalInfo};
 pub use sim::{SimConfig, Simulator};
+pub use trace::{
+    JsonlSink, MemoryTrace, RingTrace, TraceDump, TraceRecord, TraceSignalMeta, TraceSink,
+};
 pub use watchdog::{DeadlockReport, StalledHandshake};
-pub use stats::{ActivityReport, EnergyReport, ScopeEnergy};
+pub use stats::{ActivityReport, EnergyReport, ScopeEnergy, SimProfile};
 pub use time::Time;
 pub use value::{Logic, Value};

@@ -5,7 +5,8 @@ use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan, FaultState};
 use crate::scope::{ScopeId, ScopePath, ScopeTree};
 use crate::signal::{SignalId, SignalInfo, SignalState};
-use crate::stats::{ActivityReport, EnergyReport, ScopeEnergy};
+use crate::stats::{ActivityReport, EnergyReport, ScopeEnergy, SimProfile};
+use crate::trace::{MemoryTrace, TraceRecord, TraceSignalMeta, TraceSink};
 use crate::watchdog::{DeadlockReport, HandshakeWatch, StalledHandshake};
 use crate::{SimError, SimResult, Time, Value};
 
@@ -16,8 +17,11 @@ pub struct SimConfig {
     /// against oscillating loops. The default (200 million) is far above
     /// any experiment in this repository.
     pub max_events: u64,
-    /// Record every committed signal change for later VCD export.
-    /// Costs memory proportional to activity; off by default.
+    /// Record every committed signal change for later VCD/JSONL export
+    /// by installing a [`MemoryTrace`] sink at construction. Costs
+    /// memory proportional to activity; off by default. For custom
+    /// sinks (ring buffers, streaming JSONL) leave this off and call
+    /// [`Simulator::set_trace_sink`] after netlist construction.
     pub trace: bool,
 }
 
@@ -32,6 +36,10 @@ pub(crate) struct Kernel {
     pub signals: Vec<SignalState>,
     pub queue: EventQueue,
     pub now: Time,
+    /// Committed value changes (profiling counter). Lives here, next
+    /// to `now`, so the per-commit increment touches a cache line the
+    /// commit path has already written.
+    pub commits: u64,
     /// Scope of each component, indexed by `ComponentId`.
     pub comp_scopes: Vec<ScopeId>,
     /// Evaluation-pending stamp of each component, indexed by
@@ -48,8 +56,10 @@ pub(crate) struct Kernel {
     /// — see [`Simulator::scope_energies_fj`] — which keeps the commit
     /// hot path free of floating-point accumulation.
     pub scope_energy_fj: Vec<f64>,
-    /// Committed-change trace for VCD export, if enabled.
-    pub trace: Option<Vec<(Time, SignalId, Value)>>,
+    /// Installed transition-trace sink, if any. `None` (the default)
+    /// keeps the commit hot path on a single predictable branch, the
+    /// same zero-overhead-when-off contract as `fault` below.
+    pub trace: Option<Box<dyn TraceSink>>,
     /// Installed fault perturbations. `None` (the default) means every
     /// drive takes the untouched fast path — applying an empty
     /// [`FaultPlan`] leaves this `None`, so a clean run is
@@ -81,6 +91,21 @@ pub struct Simulator {
     /// Handshake pairs registered for deadlock diagnosis, in
     /// registration order.
     watches: Vec<HandshakeWatch>,
+    /// Wake events processed (profiling counter).
+    wakes: u64,
+    /// Deltas processed — queue pops, each a wake, a fault action or a
+    /// batch of same-timestamp commits (profiling counter).
+    deltas: u64,
+    /// Sum of sampled event-queue depths; with `queue_samples` this
+    /// yields the mean queue occupancy.
+    queue_depth_sum: u64,
+    /// Number of queue-depth samples taken (one every 64 deltas, so
+    /// the event loop pays one branch, not a queue walk, per delta).
+    queue_samples: u64,
+    /// Peak event-queue depth observed at a sampled delta boundary.
+    queue_peak: usize,
+    /// Wall-clock time spent inside `run_until` since construction.
+    wall: std::time::Duration,
 }
 
 impl Default for Simulator {
@@ -108,7 +133,8 @@ impl Simulator {
 
     /// Creates an empty simulator with the given configuration.
     pub fn with_config(config: SimConfig) -> Self {
-        let trace = if config.trace { Some(Vec::new()) } else { None };
+        let trace: Option<Box<dyn TraceSink>> =
+            if config.trace { Some(Box::new(MemoryTrace::new())) } else { None };
         Simulator {
             kernel: Kernel {
                 signals: Vec::new(),
@@ -119,6 +145,7 @@ impl Simulator {
                 scope_energy_fj: vec![0.0],
                 trace,
                 fault: None,
+                commits: 0,
             },
             comps: Vec::new(),
             comp_names: Vec::new(),
@@ -129,6 +156,12 @@ impl Simulator {
             delta_seq: 1,
             pending_evals: Vec::new(),
             watches: Vec::new(),
+            wakes: 0,
+            deltas: 0,
+            queue_depth_sum: 0,
+            queue_samples: 0,
+            queue_peak: 0,
+            wall: std::time::Duration::ZERO,
         }
     }
 
@@ -458,21 +491,69 @@ impl Simulator {
         }
     }
 
-    /// The recorded signal-change trace, if tracing was enabled.
-    pub(crate) fn trace(&self) -> Option<&[(Time, SignalId, Value)]> {
+    /// Installs a transition-trace sink: every committed signal change
+    /// from now on is reported to it as a
+    /// [`TraceRecord`](crate::trace::TraceRecord). The sink's
+    /// [`install`](TraceSink::install) hook receives the current
+    /// signal table, so call this *after* netlist construction.
+    /// Replaces any previously installed sink.
+    pub fn set_trace_sink(&mut self, mut sink: Box<dyn TraceSink>) {
+        sink.install(&self.trace_signal_metas());
+        self.kernel.trace = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, restoring the
+    /// zero-overhead untraced commit path.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.kernel.trace.take()
+    }
+
+    /// The installed trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&dyn TraceSink> {
         self.kernel.trace.as_deref()
     }
 
-    /// Internal access for the VCD writer.
-    pub(crate) fn signal_state(&self, sig: SignalId) -> (&str, u8) {
-        let s = &self.kernel.signals[sig.index()];
-        (&s.name, s.width)
+    /// The signal table as trace metadata, indexed by
+    /// [`SignalId::index`]: full path, width and per-toggle switching
+    /// energy of every signal.
+    pub fn trace_signal_metas(&self) -> Vec<TraceSignalMeta> {
+        (0..self.kernel.signals.len() as u32)
+            .map(|i| {
+                let s = &self.kernel.signals[i as usize];
+                let scope_path = self.scopes.path(s.scope);
+                let path = if scope_path.as_str().is_empty() {
+                    s.name.clone()
+                } else {
+                    format!("{}.{}", scope_path, s.name)
+                };
+                TraceSignalMeta {
+                    path,
+                    width: s.width,
+                    energy_per_toggle_fj: s.energy_per_toggle_fj,
+                }
+            })
+            .collect()
     }
 
-    /// Scope path string of the scope a signal lives in.
-    pub(crate) fn signal_scope_path(&self, sig: SignalId) -> String {
-        let s = &self.kernel.signals[sig.index()];
-        self.scopes.path(s.scope).as_str().to_string()
+    /// Kernel profiling counters: events/commits/wakes processed,
+    /// event-queue occupancy, and wall-clock time spent simulating.
+    /// Counter updates are plain integer increments on already-touched
+    /// cache lines, so the hot path stays branch-predictable.
+    pub fn profile(&self) -> SimProfile {
+        SimProfile {
+            events: self.events_processed,
+            commits: self.kernel.commits,
+            wakes: self.wakes,
+            deltas: self.deltas,
+            queue_peak: self.queue_peak,
+            queue_mean: if self.queue_samples == 0 {
+                0.0
+            } else {
+                self.queue_depth_sum as f64 / self.queue_samples as f64
+            },
+            wall: self.wall,
+            sim_time: self.kernel.now,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -571,6 +652,13 @@ impl Simulator {
         self.watches.len()
     }
 
+    /// The registered handshake pairs as `(label, req, ack)`, in
+    /// registration order. Lets trace consumers compute per-handshake
+    /// latency statistics without re-deriving the pairing.
+    pub fn handshake_watches(&self) -> impl Iterator<Item = (&str, SignalId, SignalId)> + '_ {
+        self.watches.iter().map(|w| (w.label.as_str(), w.req, w.ack))
+    }
+
     /// Inspects every registered handshake and reports the stalled
     /// ones — pairs whose req and ack levels disagree, meaning one
     /// side is waiting for a transition that never arrived. Returns
@@ -628,10 +716,12 @@ impl Simulator {
         }
         let toggles = st.value.toggles_to(&value);
         st.toggles += toggles as u64;
+        let old = st.value;
         st.value = value;
         st.last_change = kernel.now;
-        if let Some(trace) = &mut kernel.trace {
-            trace.push((kernel.now, signal, value));
+        kernel.commits += 1;
+        if let Some(sink) = &mut kernel.trace {
+            sink.record(&TraceRecord { time: kernel.now, signal, old, new: value });
         }
         self.pending_evals.extend_from_slice(&st.fanout);
     }
@@ -672,11 +762,27 @@ impl Simulator {
     /// Returns [`SimError::EventLimitExceeded`] if the configured event
     /// budget is exhausted (runaway oscillation).
     pub fn run_until(&mut self, horizon: Time) -> SimResult<Time> {
+        let wall_start = std::time::Instant::now();
         let mut processed: u64 = 0;
         while let Some(ev) = self.kernel.queue.pop_at_or_before(horizon) {
+            // Profiling: sample queue occupancy once every 64 deltas.
+            // Singleton-delta workloads (free-running oscillators) pop
+            // millions of one-event deltas, so the steady-state loop
+            // must pay a single increment-and-mask here, not a queue
+            // walk; the subsampled mean/peak stay representative.
+            self.deltas += 1;
+            if self.deltas & 0x3F == 0 {
+                let depth = self.kernel.queue.len();
+                self.queue_samples += 1;
+                self.queue_depth_sum += depth as u64;
+                if depth > self.queue_peak {
+                    self.queue_peak = depth;
+                }
+            }
             processed += self.step_delta(ev);
             if processed > self.config.max_events {
                 self.events_processed += processed;
+                self.wall += wall_start.elapsed();
                 return Err(SimError::EventLimitExceeded {
                     at: self.kernel.now,
                     limit: self.config.max_events,
@@ -685,6 +791,7 @@ impl Simulator {
             }
         }
         self.events_processed += processed;
+        self.wall += wall_start.elapsed();
         // Advance to the horizon even if the queue went quiet earlier.
         if self.kernel.now < horizon {
             self.kernel.now = horizon;
@@ -728,7 +835,10 @@ impl Simulator {
         self.kernel.now = ev.time;
         let mut consumed = 1;
         match ev.kind {
-            EventKind::Wake { comp } => self.eval(comp, true),
+            EventKind::Wake { comp } => {
+                self.wakes += 1;
+                self.eval(comp, true);
+            }
             EventKind::Fault { action } => {
                 debug_assert!(self.pending_evals.is_empty());
                 self.run_fault_action(action);
@@ -803,13 +913,15 @@ impl Simulator {
         }
         let toggles = st.value.toggles_to(&value);
         st.toggles += toggles as u64;
+        let old = st.value;
         st.value = value;
         st.last_change = ev.time;
+        kernel.commits += 1;
         // Switching energy is *not* accumulated here: it is derived
         // lazily from the toggle counter (see `scope_energies_fj`),
         // keeping f64 traffic off the commit hot path.
-        if let Some(trace) = &mut kernel.trace {
-            trace.push((ev.time, signal, value));
+        if let Some(sink) = &mut kernel.trace {
+            sink.record(&TraceRecord { time: ev.time, signal, old, new: value });
         }
         for &comp in &st.fanout {
             let stamp = &mut kernel.comp_stamp[comp.index()];
@@ -844,10 +956,12 @@ impl Simulator {
         }
         let toggles = st.value.toggles_to(&value);
         st.toggles += toggles as u64;
+        let old = st.value;
         st.value = value;
         st.last_change = ev.time;
-        if let Some(trace) = &mut kernel.trace {
-            trace.push((ev.time, signal, value));
+        kernel.commits += 1;
+        if let Some(sink) = &mut kernel.trace {
+            sink.record(&TraceRecord { time: ev.time, signal, old, new: value });
         }
         if let &[comp] = st.fanout.as_slice() {
             self.eval(comp, false);
@@ -1317,6 +1431,63 @@ mod tests {
             panic!("expected event-limit error with diagnosis, got {err:?}");
         };
         assert_eq!(report.first_label(), Some("stuck"));
+    }
+
+    #[test]
+    fn trace_sink_sees_old_and_new_values() {
+        use crate::trace::{MemoryTrace, TraceDump};
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 4);
+        sim.stimulus(
+            a,
+            &[
+                (Time::ZERO, Value::from_u64(4, 0b0011)),
+                (Time::from_ps(10), Value::from_u64(4, 0b1100)),
+            ],
+        );
+        sim.set_trace_sink(Box::new(MemoryTrace::new()));
+        sim.run_to_quiescence().unwrap();
+        let dump = TraceDump::capture(&sim).expect("sink retains records");
+        assert_eq!(dump.records.len(), 2);
+        assert_eq!(dump.records[0].old, Value::all_x(4));
+        assert_eq!(dump.records[0].new, Value::from_u64(4, 0b0011));
+        assert_eq!(dump.records[1].old, Value::from_u64(4, 0b0011));
+        assert_eq!(dump.records[1].new, Value::from_u64(4, 0b1100));
+        assert_eq!(dump.path(a), "a");
+    }
+
+    #[test]
+    fn take_trace_sink_restores_untraced_path() {
+        use crate::trace::MemoryTrace;
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        sim.set_trace_sink(Box::new(MemoryTrace::new()));
+        let sink = sim.take_trace_sink().expect("sink was installed");
+        assert_eq!(sink.records().map(<[_]>::len), Some(0));
+        assert!(sim.trace_sink().is_none());
+        sim.stimulus(a, &[(Time::ZERO, Value::zero(1))]);
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.kernel.trace.is_none());
+    }
+
+    #[test]
+    fn profile_counts_commits_and_wakes() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let _y = inverter(&mut sim, a, Time::from_ps(10));
+        sim.stimulus(
+            a,
+            &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))],
+        );
+        sim.run_to_quiescence().unwrap();
+        let p = sim.profile();
+        // a: X->0, 0->1; y: X->1, 1->0.
+        assert_eq!(p.commits, 4);
+        assert!(p.wakes >= 1, "stimulus kick must be counted");
+        assert_eq!(p.events, sim.events_processed());
+        assert!(p.deltas > 0 && p.deltas <= p.events);
+        assert!(p.queue_mean >= 0.0);
+        assert_eq!(p.sim_time, sim.now());
     }
 
     #[test]

@@ -78,6 +78,58 @@ impl EnergyReport {
     }
 }
 
+/// Kernel profiling counters, snapshotted by
+/// [`Simulator::profile`](crate::Simulator::profile).
+///
+/// The counters cost a few integer increments per delta on the event
+/// loop — cheap enough to stay always-on, so kernel performance
+/// regressions are visible in CI without a special build.
+#[derive(Debug, Clone, Copy)]
+pub struct SimProfile {
+    /// Events processed (drive commits, wakes, fault actions).
+    pub events: u64,
+    /// Committed signal value changes.
+    pub commits: u64,
+    /// Wake events processed.
+    pub wakes: u64,
+    /// Deltas processed: queue pops, each being a wake, a fault action
+    /// or a batch of same-timestamp commits.
+    pub deltas: u64,
+    /// Peak event-queue depth observed at a sampled delta boundary
+    /// (depth is sampled once every 64 deltas, so the event loop pays
+    /// a single counter increment per delta).
+    pub queue_peak: usize,
+    /// Mean event-queue depth over the sampled delta boundaries.
+    pub queue_mean: f64,
+    /// Wall-clock time spent inside the event loop.
+    pub wall: std::time::Duration,
+    /// Simulation time at the snapshot.
+    pub sim_time: Time,
+}
+
+impl SimProfile {
+    /// Events processed per wall-clock second (0 if nothing ran).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+
+    /// Wall-clock nanoseconds spent per simulated nanosecond (0 if no
+    /// simulated time elapsed) — the kernel's slowdown factor.
+    pub fn wall_ns_per_sim_ns(&self) -> f64 {
+        let sim_ns = self.sim_time.as_ns();
+        if sim_ns <= 0.0 {
+            0.0
+        } else {
+            self.wall.as_secs_f64() * 1e9 / sim_ns
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,48 +1,17 @@
 //! Value-change-dump (VCD) export.
 //!
-//! When a [`Simulator`](crate::Simulator) is built with
-//! [`SimConfig::trace`](crate::SimConfig) enabled, every committed
-//! signal change is recorded; [`write_vcd`] serialises the recording in
-//! the standard IEEE 1364 VCD format readable by GTKWave and most EDA
-//! waveform viewers.
+//! A thin convenience wrapper over the trace subsystem: when the
+//! simulator carries a record-retaining [`TraceSink`](crate::trace::TraceSink)
+//! (installed by [`SimConfig::trace`](crate::SimConfig) or
+//! [`Simulator::set_trace_sink`](crate::Simulator::set_trace_sink)),
+//! [`write_vcd`] captures a [`TraceDump`](crate::trace::TraceDump) and
+//! serialises it in the standard IEEE 1364 VCD format readable by
+//! GTKWave and most EDA waveform viewers.
 
 use std::io::{self, Write};
 
-use crate::{SignalId, Simulator, Value};
-
-fn idcode(mut n: usize) -> String {
-    // Printable VCD identifier codes: '!'..='~'.
-    let mut s = String::new();
-    loop {
-        s.push((b'!' + (n % 94) as u8) as char);
-        n /= 94;
-        if n == 0 {
-            break;
-        }
-    }
-    s
-}
-
-fn fmt_value(v: &Value) -> String {
-    if v.width() == 1 {
-        match v.bit(0) {
-            crate::Logic::Zero => "0".to_string(),
-            crate::Logic::One => "1".to_string(),
-            crate::Logic::X => "x".to_string(),
-        }
-    } else {
-        let mut s = String::from("b");
-        for i in (0..v.width()).rev() {
-            s.push(match v.bit(i) {
-                crate::Logic::Zero => '0',
-                crate::Logic::One => '1',
-                crate::Logic::X => 'x',
-            });
-        }
-        s.push(' ');
-        s
-    }
-}
+use crate::trace::TraceDump;
+use crate::Simulator;
 
 /// Writes the recorded trace of `sim` as a VCD document.
 ///
@@ -52,8 +21,8 @@ fn fmt_value(v: &Value) -> String {
 /// # Errors
 ///
 /// Returns any I/O error from the writer. Returns
-/// [`io::ErrorKind::InvalidInput`] if the simulator was built without
-/// tracing enabled.
+/// [`io::ErrorKind::InvalidInput`] if the simulator carries no trace
+/// sink that retains records.
 ///
 /// # Examples
 ///
@@ -69,61 +38,22 @@ fn fmt_value(v: &Value) -> String {
 /// assert!(text.contains("$timescale 1 fs $end"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn write_vcd<W: Write>(sim: &Simulator, mut w: W) -> io::Result<()> {
-    let trace = sim.trace().ok_or_else(|| {
+pub fn write_vcd<W: Write>(sim: &Simulator, w: W) -> io::Result<()> {
+    let dump = TraceDump::capture(sim).ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::InvalidInput,
-            "simulator was not built with SimConfig::trace enabled",
+            "simulator carries no record-retaining trace sink \
+             (enable SimConfig::trace or install a MemoryTrace/RingTrace)",
         )
     })?;
-
-    writeln!(w, "$date reproduction of Ogg et al. DATE 2008 $end")?;
-    writeln!(w, "$version sal-des $end")?;
-    writeln!(w, "$timescale 1 fs $end")?;
-
-    // Group signals by scope path to emit VCD scopes.
-    let mut by_scope: Vec<(String, Vec<SignalId>)> = Vec::new();
-    for sig in sim.signal_ids() {
-        let scope = sim.signal_scope_path(sig);
-        match by_scope.iter_mut().find(|(s, _)| *s == scope) {
-            Some((_, v)) => v.push(sig),
-            None => by_scope.push((scope, vec![sig])),
-        }
-    }
-    for (scope, sigs) in &by_scope {
-        let name = if scope.is_empty() { "top" } else { scope.as_str() };
-        // VCD module names cannot contain dots; replace them.
-        writeln!(w, "$scope module {} $end", name.replace('.', "_"))?;
-        for &sig in sigs {
-            let (name, width) = sim.signal_state(sig);
-            writeln!(w, "$var wire {} {} {} $end", width, idcode(sig.index()), name)?;
-        }
-        writeln!(w, "$upscope $end")?;
-    }
-    writeln!(w, "$enddefinitions $end")?;
-
-    writeln!(w, "$dumpvars")?;
-    for sig in sim.signal_ids() {
-        let v = Value::all_x(sim.signal_state(sig).1);
-        writeln!(w, "{}{}", fmt_value(&v), idcode(sig.index()))?;
-    }
-    writeln!(w, "$end")?;
-
-    let mut last_time = None;
-    for (t, sig, v) in trace {
-        if last_time != Some(*t) {
-            writeln!(w, "#{}", t.as_fs())?;
-            last_time = Some(*t);
-        }
-        writeln!(w, "{}{}", fmt_value(v), idcode(sig.index()))?;
-    }
-    Ok(())
+    dump.write_vcd(w)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SimConfig, Time};
+    use crate::trace::idcode;
+    use crate::{SimConfig, Time, Value};
 
     #[test]
     fn idcodes_are_unique_and_printable() {

@@ -86,9 +86,10 @@ fn seg_params(b: &CircuitBuilder<'_>, cfg: &LinkConfig) -> (Time, f64) {
     (delay, energy)
 }
 
-/// Maps a configuration failure into the builder error channel.
+/// Maps a configuration failure into the builder error channel,
+/// preserving the typed cause's message.
 fn check_cfg(cfg: &LinkConfig) -> Result<(), BuildError> {
-    cfg.check().map_err(|message| BuildError::Config { message })
+    cfg.check().map_err(BuildError::from)
 }
 
 /// Builds the synchronous reference link I1 in scope `name`.
@@ -99,7 +100,7 @@ fn check_cfg(cfg: &LinkConfig) -> Result<(), BuildError> {
 ///
 /// Returns the first netlist-construction or configuration error
 /// instead of panicking, so sweeps can probe unbuildable corners.
-pub fn build_i1(
+pub(crate) fn build_i1(
     b: &mut CircuitBuilder<'_>,
     name: &str,
     cfg: &LinkConfig,
@@ -139,7 +140,7 @@ pub fn build_i1(
 /// Every four-phase req/ack pair along the link is registered with the
 /// kernel's handshake watchdog, so a wedged transfer yields a
 /// [`DeadlockReport`](sal_des::DeadlockReport) naming the stage.
-pub fn build_i2(
+pub(crate) fn build_i2(
     b: &mut CircuitBuilder<'_>,
     name: &str,
     cfg: &LinkConfig,
@@ -242,7 +243,7 @@ pub fn build_i2(
 /// The word-level handshakes at both interfaces are registered with
 /// the kernel's handshake watchdog (the burst itself is
 /// source-synchronous and has no per-slice handshake to watch).
-pub fn build_i3(
+pub(crate) fn build_i3(
     b: &mut CircuitBuilder<'_>,
     name: &str,
     cfg: &LinkConfig,
@@ -334,7 +335,9 @@ pub fn build_i3(
     })
 }
 
-/// Builds a link of the given kind (dispatch helper for sweeps).
+/// Builds a link of the given kind in scope `name` — the single
+/// public constructor for all three implementations (sweeps select
+/// via [`LinkKind`]).
 pub fn build_link(
     b: &mut CircuitBuilder<'_>,
     kind: LinkKind,
@@ -351,37 +354,40 @@ pub fn build_link(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::measure::{run_flits, MeasureOptions};
+    use crate::measure::{run, MeasureOptions};
     use crate::testbench::worst_case_pattern;
 
     #[test]
     fn i1_transfers_worst_case_pattern() {
         let cfg = LinkConfig::default();
-        let r = run_flits(LinkKind::I1Sync, &cfg, &worst_case_pattern(4, 32), &MeasureOptions::default());
+        let r = run(LinkKind::I1Sync, &cfg, &worst_case_pattern(4, 32), &MeasureOptions::default())
+            .expect("clean run");
         assert_eq!(r.received_words(), worst_case_pattern(4, 32));
     }
 
     #[test]
     fn i2_transfers_worst_case_pattern() {
         let cfg = LinkConfig::default();
-        let r = run_flits(
+        let r = run(
             LinkKind::I2PerTransfer,
             &cfg,
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
-        );
+        )
+        .expect("clean run");
         assert_eq!(r.received_words(), worst_case_pattern(4, 32));
     }
 
     #[test]
     fn i3_transfers_worst_case_pattern() {
         let cfg = LinkConfig::default();
-        let r = run_flits(
+        let r = run(
             LinkKind::I3PerWord,
             &cfg,
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
-        );
+        )
+        .expect("clean run");
         assert_eq!(r.received_words(), worst_case_pattern(4, 32));
     }
 
@@ -391,7 +397,8 @@ mod tests {
             for buffers in [2u32, 4, 6, 8] {
                 let cfg = LinkConfig { buffers, ..LinkConfig::default() };
                 let words = worst_case_pattern(4, 32);
-                let r = run_flits(kind, &cfg, &words, &MeasureOptions::default());
+                let r = run(kind, &cfg, &words, &MeasureOptions::default())
+                    .expect("clean run");
                 assert_eq!(
                     r.received_words(),
                     words,
@@ -410,7 +417,8 @@ mod tests {
         };
         for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
             let words: Vec<u64> = (0..12).map(|i| (i * 0x2468_ACE1) & 0xFFFF_FFFF).collect();
-            let r = run_flits(kind, &cfg, &words, &MeasureOptions::default());
+            let r = run(kind, &cfg, &words, &MeasureOptions::default())
+                .expect("clean run");
             assert_eq!(r.received_words(), words, "{}", kind.label());
         }
     }

@@ -76,44 +76,134 @@ impl Default for LinkConfig {
     }
 }
 
-impl LinkConfig {
-    /// Validates internal consistency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if widths are inconsistent (slice not dividing flit,
-    /// widths zero or above 64), the FIFO depth is < 2, or the
-    /// oscillator stage count is even or < 3. Library code that
-    /// prefers a graceful failure uses [`LinkConfig::check`].
-    pub fn validate(&self) {
-        if let Err(m) = self.check() {
-            panic!("{m}");
+/// A structured description of the first inconsistency found in a
+/// [`LinkConfig`] (or in the measurement options derived from it).
+///
+/// Every variant carries the offending values, so sweeps can match on
+/// the *kind* of misconfiguration instead of parsing a message. The
+/// [`Display`](std::fmt::Display) form keeps the historical one-line
+/// messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `flit_width` outside `1..=64`.
+    FlitWidth {
+        /// The rejected flit width.
+        width: u8,
+    },
+    /// `slice_width` outside `1..=flit_width`.
+    SliceWidth {
+        /// The rejected slice width.
+        slice: u8,
+        /// The flit width it was checked against.
+        flit: u8,
+    },
+    /// `slice_width` does not divide `flit_width`.
+    SliceNotDividing {
+        /// The rejected slice width.
+        slice: u8,
+        /// The flit width it must divide.
+        flit: u8,
+    },
+    /// Fewer than 2 slices per flit — nothing to serialize.
+    TooFewSlices {
+        /// The resulting slice count.
+        slices: u8,
+    },
+    /// Interface FIFO depth below 2.
+    FifoTooShallow {
+        /// The rejected depth.
+        depth: u8,
+    },
+    /// Ring-oscillator stage count even or below 3.
+    BadOscStages {
+        /// The rejected stage count.
+        stages: usize,
+    },
+    /// Negative switch-to-switch wire length.
+    NegativeLength {
+        /// The rejected length, µm.
+        length_um: f64,
+    },
+    /// A measurement usage factor outside `(0, 1]` (reported by the
+    /// run entry point, not by [`LinkConfig::check`]).
+    UsageOutOfRange {
+        /// The rejected usage factor.
+        usage: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::FlitWidth { width } => {
+                write!(f, "flit width must be 1..=64 (got {width})")
+            }
+            ConfigError::SliceWidth { slice, flit } => {
+                write!(f, "slice width must be 1..=flit width (got {slice} of {flit})")
+            }
+            ConfigError::SliceNotDividing { slice, flit } => {
+                write!(f, "slice width must divide flit width ({slice} does not divide {flit})")
+            }
+            ConfigError::TooFewSlices { slices } => {
+                write!(f, "need at least 2 slices (got {slices})")
+            }
+            ConfigError::FifoTooShallow { depth } => {
+                write!(f, "interface FIFO depth must be at least 2 (got {depth})")
+            }
+            ConfigError::BadOscStages { stages } => {
+                write!(f, "ring oscillator needs an odd stage count >= 3 (got {stages})")
+            }
+            ConfigError::NegativeLength { length_um } => {
+                write!(f, "negative wire length ({length_um} um)")
+            }
+            ConfigError::UsageOutOfRange { usage } => {
+                write!(f, "usage must be in (0, 1] (got {usage})")
+            }
         }
     }
+}
 
-    /// Non-panicking validation: `Err` carries the first inconsistency
-    /// found, as a human-readable message.
-    pub fn check(&self) -> Result<(), String> {
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for sal_cells::BuildError {
+    fn from(e: ConfigError) -> Self {
+        sal_cells::BuildError::Config { message: e.to_string() }
+    }
+}
+
+impl LinkConfig {
+    /// Validates internal consistency: `Err` carries the first
+    /// inconsistency found as a typed [`ConfigError`]. Never panics —
+    /// sweeps probe unbuildable corners through this.
+    pub fn check(&self) -> Result<(), ConfigError> {
         if !(self.flit_width >= 1 && self.flit_width <= 64) {
-            return Err("flit width must be 1..=64".into());
+            return Err(ConfigError::FlitWidth { width: self.flit_width });
         }
         if !(self.slice_width >= 1 && self.slice_width <= self.flit_width) {
-            return Err("slice width must be 1..=flit width".into());
+            return Err(ConfigError::SliceWidth {
+                slice: self.slice_width,
+                flit: self.flit_width,
+            });
         }
         if self.flit_width % self.slice_width != 0 {
-            return Err("slice width must divide flit width".into());
+            return Err(ConfigError::SliceNotDividing {
+                slice: self.slice_width,
+                flit: self.flit_width,
+            });
         }
         if self.flit_width / self.slice_width < 2 {
-            return Err("need at least 2 slices".into());
+            return Err(ConfigError::TooFewSlices {
+                slices: self.flit_width / self.slice_width,
+            });
         }
         if self.fifo_depth < 2 {
-            return Err("interface FIFO depth must be at least 2".into());
+            return Err(ConfigError::FifoTooShallow { depth: self.fifo_depth });
         }
         if !(self.osc_stages % 2 == 1 && self.osc_stages >= 3) {
-            return Err("ring oscillator needs an odd stage count >= 3".into());
+            return Err(ConfigError::BadOscStages { stages: self.osc_stages });
         }
         if self.length_um < 0.0 {
-            return Err("negative wire length".into());
+            return Err(ConfigError::NegativeLength { length_um: self.length_um });
         }
         Ok(())
     }
@@ -154,7 +244,7 @@ mod tests {
     #[test]
     fn default_is_the_paper_setup() {
         let c = LinkConfig::default();
-        c.validate();
+        c.check().expect("default config is valid");
         assert_eq!(c.flit_width, 32);
         assert_eq!(c.slice_width, 8);
         assert_eq!(c.slices(), 4);
@@ -179,14 +269,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "divide")]
     fn bad_slice_width_rejected() {
-        LinkConfig { slice_width: 5, ..Default::default() }.validate();
+        let err = LinkConfig { slice_width: 5, ..Default::default() }.check().unwrap_err();
+        assert_eq!(err, ConfigError::SliceNotDividing { slice: 5, flit: 32 });
+        assert!(err.to_string().contains("divide"));
     }
 
     #[test]
-    #[should_panic(expected = "2 slices")]
     fn unserialized_config_rejected() {
-        LinkConfig { slice_width: 32, ..Default::default() }.validate();
+        let err = LinkConfig { slice_width: 32, ..Default::default() }.check().unwrap_err();
+        assert_eq!(err, ConfigError::TooFewSlices { slices: 1 });
+        assert!(err.to_string().contains("2 slices"));
+    }
+
+    #[test]
+    fn config_error_threads_into_build_error() {
+        let err = LinkConfig { fifo_depth: 1, ..Default::default() }.check().unwrap_err();
+        assert_eq!(err, ConfigError::FifoTooShallow { depth: 1 });
+        let build: sal_cells::BuildError = err.into();
+        assert!(matches!(
+            build,
+            sal_cells::BuildError::Config { ref message } if message.contains("FIFO depth")
+        ));
     }
 }

@@ -4,19 +4,24 @@
 //! evaluated in *Serialized Asynchronous Links for NoC* (Ogg, Valli,
 //! Al-Hashimi, Yakovlev, D'Alessandro, Benini — DATE 2008):
 //!
-//! * **I1** ([`build_i1`]) — the fully synchronous reference: an
-//!   `m`-bit parallel link with clocked pipeline buffers (paper Fig 9,
-//!   top).
-//! * **I2** ([`build_i2`]) — the proposed asynchronous serialized link
-//!   with **per-transfer acknowledgement**: a sync→async FIFO
-//!   interface (Fig 4), an `m→n` David-cell serializer (Fig 6a),
-//!   four-phase bundled-data wire buffers, an `n→m` deserializer
-//!   (Fig 6b) and an async→sync FIFO interface (Fig 5).
-//! * **I3** ([`build_i3`]) — the **per-word acknowledgement** variant
-//!   (Fig 7/8): the serializer paces a burst of slices with a local
-//!   ring oscillator and a source-synchronous `VALID` strobe, the wire
-//!   repeaters are plain inverter pairs, the deserializer is a shift
-//!   register, and a single acknowledge wire runs back per word.
+//! * **I1** ([`LinkKind::I1Sync`]) — the fully synchronous reference:
+//!   an `m`-bit parallel link with clocked pipeline buffers (paper
+//!   Fig 9, top).
+//! * **I2** ([`LinkKind::I2PerTransfer`]) — the proposed asynchronous
+//!   serialized link with **per-transfer acknowledgement**: a
+//!   sync→async FIFO interface (Fig 4), an `m→n` David-cell
+//!   serializer (Fig 6a), four-phase bundled-data wire buffers, an
+//!   `n→m` deserializer (Fig 6b) and an async→sync FIFO interface
+//!   (Fig 5).
+//! * **I3** ([`LinkKind::I3PerWord`]) — the **per-word
+//!   acknowledgement** variant (Fig 7/8): the serializer paces a
+//!   burst of slices with a local ring oscillator and a
+//!   source-synchronous `VALID` strobe, the wire repeaters are plain
+//!   inverter pairs, the deserializer is a shift register, and a
+//!   single acknowledge wire runs back per word.
+//!
+//! All three are assembled through one constructor, [`build_link`],
+//! selected by [`LinkKind`].
 //!
 //! Every block is built from `sal-cells` primitives through the
 //! [`CircuitBuilder`](sal_cells::CircuitBuilder), so the technology
@@ -28,7 +33,12 @@
 //! The [`testbench`] module provides the synchronous switch models and
 //! asynchronous handshake drivers used by unit tests and by the
 //! benchmark harness, and [`measure`] runs the paper's measurement
-//! protocol (worst-case flit pattern, 50 % usage window).
+//! protocol (worst-case flit pattern, 50 % usage window) through the
+//! single entry point [`run`]. Observability — transition traces,
+//! handshake-latency histograms, per-block energy attribution, kernel
+//! profiling — is opt-in via
+//! [`MeasureOptions::with_trace`]/[`MeasureOptions::with_metrics`]
+//! and surfaced in [`metrics`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,15 +52,25 @@ mod scoreboard;
 mod serializer;
 mod sync_link;
 pub mod measure;
+pub mod metrics;
 pub mod testbench;
 mod wire_buffer;
 mod word_deserializer;
 mod word_serializer;
 
 pub use as_interface::{build_as_interface, AsInterfacePorts};
-pub use assembly::{build_i1, build_i2, build_i3, build_link, LinkHandles, LinkKind};
-pub use config::{LinkConfig, WordRxStyle};
+pub use assembly::{build_link, LinkHandles, LinkKind};
+pub use config::{ConfigError, LinkConfig, WordRxStyle};
 pub use deserializer::{build_deserializer, DeserializerPorts};
+#[allow(deprecated)]
+pub use measure::{run_flits, run_flits_checked};
+pub use measure::{
+    run, BlockPower, LinkRun, MeasureOptions, RunFailure, TraceMode,
+};
+pub use metrics::{
+    BlockAttribution, BurstStats, HandshakeStats, Histogram, InFlightDepth, LinkMetrics,
+    Occupancy,
+};
 pub use sa_interface::{build_sa_interface, SaInterfacePorts};
 pub use scoreboard::{check_integrity, IntegrityCounts};
 pub use serializer::{build_serializer, SerializerPorts};

@@ -3,25 +3,66 @@
 //! energy over a window set by the target usage factor (the paper
 //! reports 50 % usage: a 4-flit transfer taking ≈70 ns measured over a
 //! 140 ns window at 100 MHz).
+//!
+//! [`run`] is the single entry point. Observability is opt-in through
+//! [`MeasureOptions`]: [`MeasureOptions::with_trace`] retains the
+//! transition trace as a [`TraceDump`] on the returned [`LinkRun`],
+//! and [`MeasureOptions::with_metrics`] additionally computes the
+//! derived [`LinkMetrics`] report (handshake latency histograms,
+//! per-block energy attribution, occupancy, burst timing). Untraced
+//! runs take the kernel's zero-overhead commit path and are
+//! bit-identical to builds without the trace hook.
 
 use sal_cells::{AreaLedger, BuildError, CircuitBuilder};
-use sal_des::{DeadlockReport, FaultPlan, SimError, Simulator, Time};
+use sal_des::{
+    DeadlockReport, FaultPlan, MemoryTrace, RingTrace, SignalId, SimError, SimProfile,
+    Simulator, Time, TraceDump,
+};
 use sal_tech::{clock_power_uw, PowerBreakdown, PowerMeter, St012Library};
 
 use crate::assembly::build_link;
+use crate::config::ConfigError;
+use crate::metrics::{self, LinkMetrics};
 use crate::scoreboard::{check_integrity, IntegrityCounts};
 use crate::testbench::{
     attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource,
 };
 use crate::{LinkConfig, LinkKind};
 
+/// How much of the transition trace a run retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracing: the kernel commit path stays on its zero-overhead
+    /// `None` branch (the default).
+    #[default]
+    Off,
+    /// Retain every committed transition.
+    Full,
+    /// Retain only the most recent *N* transitions (bounded memory
+    /// for long runs; "what happened just before it wedged").
+    Ring(usize),
+}
+
 /// Options for a measured link run.
+///
+/// Construct with [`MeasureOptions::default`] and layer adjustments
+/// with the builder methods:
+///
+/// ```
+/// use sal_link::{MeasureOptions, TraceMode};
+/// let opts = MeasureOptions::default()
+///     .with_usage(0.5)
+///     .with_trace(TraceMode::Full)
+///     .with_metrics();
+/// assert!(opts.metrics);
+/// ```
 #[derive(Debug, Clone)]
 pub struct MeasureOptions {
     /// Link usage factor the power is averaged at (paper: 0.5).
     pub usage: f64,
     /// Give up if the transfer has not completed by this simulated
-    /// time (indicates a deadlock — surfaced as a panic with context).
+    /// time (indicates a deadlock — surfaced as
+    /// [`RunFailure::Deadlock`]).
     pub timeout: Time,
     /// Technology library (calibration knobs live here).
     pub lib: St012Library,
@@ -44,6 +85,12 @@ pub struct MeasureOptions {
     /// matched-delay chain at the slow technology corner; fault plans
     /// that derate gate delays need this stretched proportionally.
     pub reset_hold: Time,
+    /// Transition-trace retention ([`TraceMode::Off`] by default).
+    pub trace: TraceMode,
+    /// Compute the [`LinkMetrics`] report. Implies a full trace for
+    /// the duration of the run (the dump itself is only retained on
+    /// the [`LinkRun`] if [`MeasureOptions::trace`] asks for it).
+    pub metrics: bool,
 }
 
 impl Default for MeasureOptions {
@@ -55,15 +102,70 @@ impl Default for MeasureOptions {
             window_override: None,
             fault_plan: None,
             reset_hold: Time::from_ns(2),
+            trace: TraceMode::Off,
+            metrics: false,
         }
     }
 }
 
-/// Why a checked run did not produce a measurement.
+impl MeasureOptions {
+    /// Sets the usage factor the power is averaged at.
+    pub fn with_usage(mut self, usage: f64) -> Self {
+        self.usage = usage;
+        self
+    }
+
+    /// Sets the deadlock timeout.
+    pub fn with_timeout(mut self, timeout: Time) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the technology library.
+    pub fn with_lib(mut self, lib: St012Library) -> Self {
+        self.lib = lib;
+        self
+    }
+
+    /// Fixes the averaging window (the paper's same-run-time protocol).
+    pub fn with_window(mut self, window: Time) -> Self {
+        self.window_override = Some(window);
+        self
+    }
+
+    /// Applies a fault plan before the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the reset assertion time.
+    pub fn with_reset_hold(mut self, hold: Time) -> Self {
+        self.reset_hold = hold;
+        self
+    }
+
+    /// Retains the transition trace on the returned [`LinkRun`].
+    pub fn with_trace(mut self, mode: TraceMode) -> Self {
+        self.trace = mode;
+        self
+    }
+
+    /// Computes the [`LinkMetrics`] report for the run.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+}
+
+/// Why a run did not produce a measurement.
 #[derive(Debug)]
 pub enum RunFailure {
-    /// The netlist could not be constructed (bad config, double
-    /// drivers…).
+    /// The configuration (or an option derived from it, like the
+    /// usage factor) is inconsistent — reported before anything is
+    /// built.
+    Config(ConfigError),
+    /// The netlist could not be constructed (double drivers…).
     Build(BuildError),
     /// The fault plan named a signal that does not exist.
     Fault(SimError),
@@ -90,6 +192,7 @@ pub enum RunFailure {
 impl std::fmt::Display for RunFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            RunFailure::Config(e) => write!(f, "invalid configuration: {e}"),
             RunFailure::Build(e) => write!(f, "netlist construction failed: {e}"),
             RunFailure::Fault(e) => write!(f, "fault plan rejected: {e}"),
             RunFailure::Deadlock { kind, delivered, expected, at, diagnosis } => {
@@ -138,12 +241,26 @@ pub struct LinkRun {
     pub events: u64,
     /// End-to-end data-integrity verdict (sent vs received payloads).
     pub integrity: IntegrityCounts,
+    /// Kernel profiling counters for this run: events, commits,
+    /// wakes, delta batches, queue occupancy, wall time per sim-ns.
+    pub profile: SimProfile,
+    /// The retained transition trace, when
+    /// [`MeasureOptions::with_trace`] asked for one. Serialise it with
+    /// [`TraceDump::write_vcd`] or [`TraceDump::write_jsonl`].
+    pub trace: Option<TraceDump>,
+    metrics: Option<LinkMetrics>,
 }
 
 impl LinkRun {
     /// The words delivered, in order.
     pub fn received_words(&self) -> Vec<u64> {
         self.received.iter().map(|&(_, w)| w).collect()
+    }
+
+    /// The derived metrics report, when the run was measured with
+    /// [`MeasureOptions::with_metrics`].
+    pub fn metrics(&self) -> Option<&LinkMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Sustained delivery rate at the sink, MFlit/s (needs ≥2 flits).
@@ -222,37 +339,28 @@ pub struct BlockPower {
 }
 
 /// Runs `words` through a freshly built link of `kind` and measures
-/// power per the paper's protocol.
+/// power per the paper's protocol. The single entry point for link
+/// measurement: misconfiguration, build failures, bad fault plans and
+/// deadlocks all come back as a structured [`RunFailure`] — never a
+/// panic.
 ///
-/// # Panics
-///
-/// Panics if the transfer deadlocks (not all words delivered before
-/// `opts.timeout`) or the simulator errors — both indicate bugs worth
-/// failing loudly on, with the delivery state in the message.
-pub fn run_flits(
-    kind: LinkKind,
-    cfg: &LinkConfig,
-    words: &[u64],
-    opts: &MeasureOptions,
-) -> LinkRun {
-    match run_flits_checked(kind, cfg, words, opts) {
-        Ok(run) => run,
-        Err(e) => panic!("{e} (cfg: {cfg:?})"),
-    }
-}
-
-/// Non-panicking [`run_flits`]: a deadlock, a build failure or a bad
-/// fault plan comes back as a [`RunFailure`] — with the handshake
-/// watchdog's [`DeadlockReport`] attached when the stall is a wedged
-/// req/ack pair. This is the entry point the robustness sweeps probe
-/// failure boundaries through.
-pub fn run_flits_checked(
+/// ```
+/// use sal_link::{run, LinkConfig, LinkKind, MeasureOptions};
+/// let words = vec![0xAAAA_AAAA, 0x5555_5555];
+/// let run = run(LinkKind::I2PerTransfer, &LinkConfig::default(), &words,
+///               &MeasureOptions::default()).unwrap();
+/// assert_eq!(run.received_words(), words);
+/// ```
+pub fn run(
     kind: LinkKind,
     cfg: &LinkConfig,
     words: &[u64],
     opts: &MeasureOptions,
 ) -> Result<LinkRun, RunFailure> {
-    assert!(opts.usage > 0.0 && opts.usage <= 1.0, "usage must be in (0, 1]");
+    cfg.check().map_err(RunFailure::Config)?;
+    if !(opts.usage > 0.0 && opts.usage <= 1.0) {
+        return Err(RunFailure::Config(ConfigError::UsageOutOfRange { usage: opts.usage }));
+    }
     let mut sim = Simulator::new();
     let mut builder = CircuitBuilder::new(&mut sim, &opts.lib);
     let handles = build_link(&mut builder, kind, "link", cfg).map_err(RunFailure::Build)?;
@@ -288,6 +396,16 @@ pub fn run_flits_checked(
         handles.stall_in,
     );
     attach_sync_sink(&mut sim, "tb_snk", snk, Time::ZERO);
+
+    // Install the trace sink only now, once the netlist (link +
+    // testbench) is final, so the captured signal table is complete.
+    // Metrics need every transition, so they force a full trace even
+    // under `TraceMode::Ring`.
+    match (opts.trace, opts.metrics) {
+        (TraceMode::Off, false) => {}
+        (TraceMode::Ring(n), false) => sim.set_trace_sink(Box::new(RingTrace::new(n))),
+        _ => sim.set_trace_sink(Box::new(MemoryTrace::new())),
+    }
 
     let meter = PowerMeter::start(&sim);
     // Run in slices until everything arrived (or timeout).
@@ -347,7 +465,7 @@ pub fn run_flits_checked(
             window,
         }
     };
-    let clock_power = handles
+    let clock_power: Vec<(String, f64)> = handles
         .clock_sinks
         .iter()
         .map(|(scope, bits)| {
@@ -363,6 +481,32 @@ pub fn run_flits_checked(
         &received.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
     );
 
+    let profile = sim.profile();
+    let dump = TraceDump::capture(&sim);
+    let metrics = if opts.metrics {
+        dump.as_ref().map(|dump| {
+            let watches: Vec<(String, SignalId, SignalId)> = sim
+                .handshake_watches()
+                .map(|(label, req, ack)| (label.to_string(), req, ack))
+                .collect();
+            metrics::compute(&metrics::MetricsInputs {
+                kind,
+                scope: &handles.scope,
+                dump,
+                watches: &watches,
+                sent: &sent,
+                received: &received,
+                in_use,
+                window,
+                clock_uw: clock_power.iter().map(|(_, p)| p).sum(),
+                events: sim.events_processed(),
+            })
+        })
+    } else {
+        None
+    };
+    let trace = if opts.trace == TraceMode::Off { None } else { dump };
+
     Ok(LinkRun {
         kind,
         cfg: cfg.clone(),
@@ -376,7 +520,35 @@ pub fn run_flits_checked(
         scope: handles.scope,
         events: sim.events_processed(),
         integrity,
+        profile,
+        trace,
+        metrics,
     })
+}
+
+/// Panicking wrapper kept for source compatibility.
+#[deprecated(note = "use `run`, which reports failures as `RunFailure` instead of panicking")]
+pub fn run_flits(
+    kind: LinkKind,
+    cfg: &LinkConfig,
+    words: &[u64],
+    opts: &MeasureOptions,
+) -> LinkRun {
+    match run(kind, cfg, words, opts) {
+        Ok(r) => r,
+        Err(e) => panic!("{e} (cfg: {cfg:?})"),
+    }
+}
+
+/// Former name of [`run`], kept for source compatibility.
+#[deprecated(note = "renamed to `run`")]
+pub fn run_flits_checked(
+    kind: LinkKind,
+    cfg: &LinkConfig,
+    words: &[u64],
+    opts: &MeasureOptions,
+) -> Result<LinkRun, RunFailure> {
+    run(kind, cfg, words, opts)
 }
 
 #[cfg(test)]
@@ -388,7 +560,8 @@ mod tests {
     fn paper_protocol_four_flits_at_100mhz() {
         let cfg = LinkConfig::default();
         let words = worst_case_pattern(4, 32);
-        let run = run_flits(LinkKind::I1Sync, &cfg, &words, &MeasureOptions::default());
+        let run =
+            run(LinkKind::I1Sync, &cfg, &words, &MeasureOptions::default()).expect("clean run");
         assert_eq!(run.received_words(), words);
         // 4 flits over a pipeline: in-use time is a handful of cycles,
         // the same order as the paper's ≈70 ns at 100 MHz.
@@ -396,13 +569,20 @@ mod tests {
         assert!((40.0..=120.0).contains(&ns), "in-use {ns} ns out of range");
         assert!(run.window > run.in_use);
         assert!(run.total_power_uw() > 0.0);
+        // Untraced runs retain no observability payload …
+        assert!(run.trace.is_none());
+        assert!(run.metrics().is_none());
+        // … but the kernel profile always comes along for free.
+        assert!(run.profile.commits > 0);
+        assert_eq!(run.profile.events, run.events);
     }
 
     #[test]
     fn block_power_sums_to_total() {
         let cfg = LinkConfig::default();
         let words = worst_case_pattern(4, 32);
-        let run = run_flits(LinkKind::I2PerTransfer, &cfg, &words, &MeasureOptions::default());
+        let run = run(LinkKind::I2PerTransfer, &cfg, &words, &MeasureOptions::default())
+            .expect("clean run");
         let bp = run.block_power();
         let sum = bp.conv_uw + bp.serdes_uw + bp.buffers_uw + bp.other_uw;
         assert!(
@@ -416,7 +596,66 @@ mod tests {
     fn area_reported_per_link() {
         let cfg = LinkConfig::default();
         let words = worst_case_pattern(2, 32);
-        let run = run_flits(LinkKind::I3PerWord, &cfg, &words, &MeasureOptions::default());
+        let run = run(LinkKind::I3PerWord, &cfg, &words, &MeasureOptions::default())
+            .expect("clean run");
         assert!(run.area_um2() > 1000.0, "area {} implausibly small", run.area_um2());
+    }
+
+    #[test]
+    fn bad_config_is_a_config_error_not_a_panic() {
+        let cfg = LinkConfig { slice_width: 5, ..Default::default() };
+        let err = run(LinkKind::I2PerTransfer, &cfg, &[1], &MeasureOptions::default())
+            .expect_err("misconfigured");
+        assert!(matches!(
+            err,
+            RunFailure::Config(ConfigError::SliceNotDividing { slice: 5, flit: 32 })
+        ));
+    }
+
+    #[test]
+    fn bad_usage_is_a_config_error() {
+        let opts = MeasureOptions::default().with_usage(0.0);
+        let err = run(LinkKind::I1Sync, &LinkConfig::default(), &[1], &opts)
+            .expect_err("usage 0 rejected");
+        assert!(matches!(err, RunFailure::Config(ConfigError::UsageOutOfRange { .. })));
+    }
+
+    #[test]
+    fn traced_run_retains_a_dump() {
+        let cfg = LinkConfig::default();
+        let words = worst_case_pattern(2, 32);
+        let opts = MeasureOptions::default().with_trace(TraceMode::Full);
+        let run = run(LinkKind::I2PerTransfer, &cfg, &words, &opts).expect("clean run");
+        let dump = run.trace.as_ref().expect("trace retained");
+        assert!(!dump.records.is_empty());
+        assert!(!dump.signals.is_empty());
+        // Metrics were not requested.
+        assert!(run.metrics().is_none());
+    }
+
+    #[test]
+    fn ring_trace_bounds_retention() {
+        let cfg = LinkConfig::default();
+        let words = worst_case_pattern(2, 32);
+        let opts = MeasureOptions::default().with_trace(TraceMode::Ring(64));
+        let run = run(LinkKind::I2PerTransfer, &cfg, &words, &opts).expect("clean run");
+        let dump = run.trace.as_ref().expect("trace retained");
+        assert_eq!(dump.records.len(), 64);
+        // The ring keeps the tail: records stay in commit order.
+        for pair in dump.records.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+    }
+
+    #[test]
+    fn metrics_only_run_skips_the_dump() {
+        let cfg = LinkConfig::default();
+        let words = worst_case_pattern(2, 32);
+        let opts = MeasureOptions::default().with_metrics();
+        let run = run(LinkKind::I2PerTransfer, &cfg, &words, &opts).expect("clean run");
+        assert!(run.trace.is_none());
+        let m = run.metrics().expect("metrics computed");
+        assert_eq!(m.link, "I2");
+        assert!(!m.handshakes.is_empty());
     }
 }

@@ -4,7 +4,7 @@
 //! bit-reproducible.
 
 use sal_des::{FaultPlan, Time};
-use sal_link::measure::{run_flits_checked, MeasureOptions, RunFailure};
+use sal_link::measure::{run, MeasureOptions, RunFailure};
 use sal_link::testbench::worst_case_pattern;
 use sal_link::{LinkConfig, LinkKind};
 
@@ -28,7 +28,7 @@ fn i2_ack_stuck_at_is_diagnosed_not_a_bare_panic() {
     let plan = FaultPlan::new(7).stuck_at("link.ack_in2", false, Time::from_ns(5));
     let words = worst_case_pattern(4, 32);
     let cfg = LinkConfig::default();
-    match run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
+    match run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
         Err(RunFailure::Deadlock { diagnosis, delivered, expected, .. }) => {
             assert!(delivered < expected, "stall must lose words");
             let report = diagnosis.expect("watchdog should recognise the wedged handshake");
@@ -51,7 +51,7 @@ fn unknown_fault_target_is_rejected() {
     let plan = FaultPlan::new(1).stuck_at("link.no_such_wire", false, Time::ZERO);
     let words = worst_case_pattern(2, 32);
     let cfg = LinkConfig::default();
-    match run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
+    match run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
         Err(RunFailure::Fault(e)) => assert!(e.to_string().contains("no_such_wire")),
         other => panic!("expected a fault-plan rejection, got: {other:?}"),
     }
@@ -66,7 +66,7 @@ fn scoreboard_flags_corrupted_payloads() {
     let plan = FaultPlan::new(3).stuck_at("link.wire.seg_d0", false, Time::from_ns(5));
     let words = worst_case_pattern(4, 32);
     let cfg = LinkConfig::default();
-    match run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
+    match run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
         Ok(run) => {
             assert!(
                 !run.integrity.is_clean(),
@@ -88,7 +88,7 @@ fn clean_run_has_clean_scoreboard() {
     let words = worst_case_pattern(4, 32);
     let cfg = LinkConfig::default();
     for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        let run = run_flits_checked(kind, &cfg, &words, &MeasureOptions::default())
+        let run = run(kind, &cfg, &words, &MeasureOptions::default())
             .expect("clean run completes");
         assert!(run.integrity.is_clean(), "{}: {}", kind.label(), run.integrity);
     }
@@ -106,7 +106,7 @@ fn seeded_fault_runs_are_bit_reproducible() {
             .in_scope("link.ser")
             .in_scope("link.des")
             .in_scope("link.wire");
-        run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan))
+        run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan))
             .expect("mild sigma should not break the link")
     };
     let a = mk();
@@ -123,7 +123,7 @@ fn seeded_fault_runs_are_bit_reproducible() {
         .in_scope("link.ser")
         .in_scope("link.des")
         .in_scope("link.wire");
-    let c = run_flits_checked(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan))
+    let c = run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan))
         .expect("sigma within margin should not break the link");
     assert!(c.integrity.is_clean(), "{}", c.integrity);
     assert_ne!(

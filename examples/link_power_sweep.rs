@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example link_power_sweep --release`
 
 use sal::des::Time;
-use sal::link::measure::{run_flits, MeasureOptions};
+use sal::link::measure::{run, MeasureOptions};
 use sal::link::testbench::worst_case_pattern;
 use sal::link::{LinkConfig, LinkKind};
 
@@ -21,7 +21,7 @@ fn main() {
             };
             let mut row = Vec::new();
             for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-                let run = run_flits(kind, &cfg, &words, &MeasureOptions::default());
+                let run = run(kind, &cfg, &words, &MeasureOptions::default()).expect("clean run");
                 row.push(run.total_power_uw());
             }
             println!(

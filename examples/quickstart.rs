@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use sal::link::measure::{run_flits, MeasureOptions};
+use sal::link::measure::{run, MeasureOptions};
 use sal::link::testbench::worst_case_pattern;
 use sal::link::{LinkConfig, LinkKind};
 
@@ -24,7 +24,7 @@ fn main() {
         "link", "wires", "MFlit/s", "power(uW)", "area(um2)"
     );
     for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        let run = run_flits(kind, &cfg, &words, &MeasureOptions::default());
+        let run = run(kind, &cfg, &words, &MeasureOptions::default()).expect("clean run");
         assert_eq!(run.received_words(), words, "data corrupted on {}", kind.label());
         let name = match kind {
             LinkKind::I1Sync => "I1 synchronous parallel",

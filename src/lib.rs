@@ -25,19 +25,19 @@
 //! ## Quickstart
 //!
 //! ```
-//! use sal::link::measure::{run_flits, MeasureOptions};
+//! use sal::link::measure::{run, MeasureOptions};
 //! use sal::link::testbench::worst_case_pattern;
 //! use sal::link::{LinkConfig, LinkKind};
 //!
 //! // Send the paper's worst-case 4-flit pattern over the proposed
 //! // per-word asynchronous serial link and measure it.
 //! let cfg = LinkConfig::default();
-//! let run = run_flits(
+//! let run = run(
 //!     LinkKind::I3PerWord,
 //!     &cfg,
 //!     &worst_case_pattern(4, 32),
 //!     &MeasureOptions::default(),
-//! );
+//! ).expect("clean run");
 //! assert_eq!(run.received_words(), worst_case_pattern(4, 32));
 //! println!("power: {:.0} µW over {}", run.total_power_uw(), run.window);
 //! ```

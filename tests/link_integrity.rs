@@ -4,11 +4,11 @@
 
 use proptest::prelude::*;
 use sal::des::Time;
-use sal::link::measure::{run_flits, MeasureOptions};
+use sal::link::measure::{run, MeasureOptions};
 use sal::link::{LinkConfig, LinkKind};
 
 fn check(kind: LinkKind, cfg: &LinkConfig, words: &[u64]) {
-    let run = run_flits(kind, cfg, words, &MeasureOptions::default());
+    let run = run(kind, cfg, words, &MeasureOptions::default()).expect("clean run");
     assert_eq!(
         run.received_words(),
         words,

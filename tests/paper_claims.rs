@@ -3,7 +3,7 @@
 //! EXPERIMENTS.md).
 
 use sal::des::Time;
-use sal::link::measure::{run_flits, MeasureOptions};
+use sal::link::measure::{run, MeasureOptions};
 use sal::link::testbench::worst_case_pattern;
 use sal::link::{LinkConfig, LinkKind};
 use sal::tech::WireModel;
@@ -11,7 +11,7 @@ use sal::tech::WireModel;
 fn power(kind: LinkKind, buffers: u32, clk: Time, window: Option<Time>) -> f64 {
     let cfg = LinkConfig { buffers, clk_period: clk, ..LinkConfig::default() };
     let opts = MeasureOptions { window_override: window, ..MeasureOptions::default() };
-    run_flits(kind, &cfg, &worst_case_pattern(4, 32), &opts).total_power_uw()
+    run(kind, &cfg, &worst_case_pattern(4, 32), &opts).expect("clean run").total_power_uw()
 }
 
 const CLK_100: Time = Time::from_ns(10);
@@ -68,12 +68,12 @@ fn headline_power_reduction_at_300mhz_8_buffers() {
     // claim), measured with the paper's fixed-window protocol.
     let base = {
         let cfg = LinkConfig { buffers: 8, ..LinkConfig::default() };
-        run_flits(
+        run(
             LinkKind::I1Sync,
             &cfg,
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
-        )
+        ).expect("clean run")
         .window
     };
     let i1 = power(LinkKind::I1Sync, 8, clk_300(), Some(base));
@@ -89,12 +89,12 @@ fn headline_power_reduction_at_300mhz_8_buffers() {
 fn sync_power_scales_with_clock_async_does_not() {
     let base = {
         let cfg = LinkConfig { buffers: 8, ..LinkConfig::default() };
-        run_flits(
+        run(
             LinkKind::I1Sync,
             &cfg,
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
-        )
+        ).expect("clean run")
         .window
     };
     let i1_ratio =
@@ -110,12 +110,12 @@ fn area_overhead_is_modest() {
     // Paper Table 1: I2/I3 carry a ~20% circuit overhead over I1.
     // Accept up to 35% and require the async links to be larger.
     let area = |kind| {
-        run_flits(
+        run(
             kind,
             &LinkConfig::default(),
             &worst_case_pattern(2, 32),
             &MeasureOptions::default(),
-        )
+        ).expect("clean run")
         .area_um2()
     };
     let i1 = area(LinkKind::I1Sync);
@@ -147,8 +147,8 @@ fn throughput_parity_with_synchronous_link() {
             ..LinkConfig::default()
         };
         let words: Vec<u64> = (0..12).map(|i| (i * 0x0101_0101) & 0xFFFF_FFFF).collect();
-        let i1 = run_flits(LinkKind::I1Sync, &cfg, &words, &MeasureOptions::default());
-        let i3 = run_flits(LinkKind::I3PerWord, &cfg, &words, &MeasureOptions::default());
+        let i1 = run(LinkKind::I1Sync, &cfg, &words, &MeasureOptions::default()).expect("clean run");
+        let i3 = run(LinkKind::I3PerWord, &cfg, &words, &MeasureOptions::default()).expect("clean run");
         let r1 = i1.throughput_mflits();
         let r3 = i3.throughput_mflits();
         assert!(
