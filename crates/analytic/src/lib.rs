@@ -7,8 +7,8 @@
 //! checks its ≈311 MFlit/s per-word upper bound against Fig 10:
 //!
 //! * [`PerTransferDelay`] — `D = k·(s·Tp + Treqreq + Treqack + Tackack
-//!   + Tackout) + Tnextflit` (paper Fig 15, with `k` slices and `s`
-//!   wire segments).
+//!   + Tackout) + Tnextflit` (paper Fig 15, with `k` slices and
+//!   `s` wire segments).
 //! * [`PerWordDelay`] — `D = 2s·Tp + 2B·Tinv + Tvalidwordack + Tackout
 //!   + Tburst` (paper Fig 16).
 //! * [`sync_wires_needed`] / [`async_wires_needed`] — the Fig 10

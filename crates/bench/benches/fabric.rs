@@ -47,7 +47,7 @@ fn bench_fabric(c: &mut Criterion) {
                 let delivered = run_fabric(kind);
                 assert_eq!(delivered, 6);
                 delivered
-            })
+            });
         });
     }
     g.finish();

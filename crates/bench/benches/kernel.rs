@@ -17,7 +17,7 @@ fn bench_event_loop(c: &mut Criterion) {
             sim.stimulus(en, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))]);
             sim.run_until(Time::from_ns(100)).unwrap();
             sim.events_processed()
-        })
+        });
     });
 }
 
@@ -40,7 +40,7 @@ fn bench_bus_activity(c: &mut Criterion) {
             sim.stimulus(bus, &sched);
             sim.run_to_quiescence().unwrap();
             sim.toggles(bus)
-        })
+        });
     });
 }
 

@@ -12,7 +12,7 @@ fn bench_links(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
             let cfg = LinkConfig::default();
             let words = worst_case_pattern(4, 32);
-            b.iter(|| run(kind, &cfg, &words, &MeasureOptions::default()).expect("clean run").total_power_uw())
+            b.iter(|| run(kind, &cfg, &words, &MeasureOptions::default()).expect("clean run").total_power_uw());
         });
     }
     g.finish();

@@ -17,7 +17,7 @@ fn bench_mesh(c: &mut Criterion) {
                 };
                 let mut net = Network::new(cfg, TrafficPattern::UniformRandom, rate, 5);
                 net.run(2_000, 500).delivered_flits
-            })
+            });
         });
     }
     g.finish();

@@ -1,8 +1,8 @@
 //! Runs every experiment in order (the full paper reproduction).
 
 fn main() {
-    for (name, bin) in [
-        ("fig10", ""), ] { let _ = (name, bin); }
+    {
+        let (name, bin) = ("fig10", ""); let _ = (name, bin); }
     // Inline each experiment's printout by invoking the same code the
     // individual binaries use.
     println!("==================================================================");
@@ -108,8 +108,7 @@ fn print_power_rows(rows: &[sal_bench::experiments::PowerRow]) {
         let p = |k: LinkKind| {
             rows.iter()
                 .find(|r| r.kind == k && r.buffers == buffers)
-                .map(|r| r.power_uw)
-                .unwrap_or(f64::NAN)
+                .map_or(f64::NAN, |r| r.power_uw)
         };
         println!(
             "  {buffers} buffers: I1={:>5.0} I2={:>5.0} I3={:>5.0}",

@@ -45,9 +45,7 @@ fn axis_table(title: &str, unit: &str, values: &[f64], probes: &[Probe]) {
     let firsts: Vec<String> = KINDS
         .iter()
         .map(|&k| {
-            let f = robustness::first_failure(probes, k)
-                .map(|v| format!("{v}"))
-                .unwrap_or_else(|| "never (survived sweep)".to_string());
+            let f = robustness::first_failure(probes, k).map_or_else(|| "never (survived sweep)".to_string(), |v| format!("{v}"));
             format!("  {}: first failure at {f}", k.label())
         })
         .collect();

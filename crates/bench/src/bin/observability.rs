@@ -89,7 +89,7 @@ fn main() {
         sections.push(format!(
             "\"{}\": {}",
             kind.label(),
-            m.to_json().trim_end().to_string()
+            m.to_json().trim_end()
         ));
     }
 

@@ -1,0 +1,113 @@
+//! `sal-lint` — the repo's netlist gatekeeper: builds every link
+//! implementation (I1/I2/I3) across the configuration corners the
+//! sweeps exercise, runs the full static-analysis suite (connectivity,
+//! loop classification, bundled-data timing, handshake protocol) on
+//! each, prints a per-corner summary with the static timing margins,
+//! and writes the machine-readable `BENCH_lint.json` (bytewise
+//! deterministic — CI diffs it against a committed fixture).
+//!
+//! Exits non-zero if any corner produces an error-severity finding:
+//! a clean tree must lint clean.
+
+use sal_cells::CircuitBuilder;
+use sal_des::{Simulator, Time};
+use sal_link::{build_link, LinkConfig, LinkKind, WordRxStyle};
+use sal_lint::{run_all, timing_margins, LintReport, Severity, TimingMargin};
+use sal_tech::St012Library;
+
+/// The corners the robustness/power sweeps visit (keep in sync with
+/// `crates/link/tests/lint_links.rs`).
+fn corners() -> Vec<(&'static str, LinkConfig)> {
+    let base = LinkConfig::default();
+    vec![
+        ("default", base.clone()),
+        ("buffers=2", LinkConfig { buffers: 2, ..base.clone() }),
+        ("buffers=8", LinkConfig { buffers: 8, ..base.clone() }),
+        ("slice=16", LinkConfig { slice_width: 16, ..base.clone() }),
+        ("slice=4", LinkConfig { slice_width: 4, ..base.clone() }),
+        ("clk=300MHz", LinkConfig { clk_period: Time::from_ns_f64(10.0 / 3.0), ..base.clone() }),
+        ("rx=demux", LinkConfig { word_rx_style: WordRxStyle::Demux, ..base.clone() }),
+        ("early_ack", LinkConfig { early_word_ack: true, ..base }),
+    ]
+}
+
+fn lint_corner(kind: LinkKind, cfg: &LinkConfig) -> (LintReport, Vec<TimingMargin>) {
+    let mut sim = Simulator::new();
+    let lib = St012Library::default();
+    let mut b = CircuitBuilder::new(&mut sim, &lib);
+    build_link(&mut b, kind, "link", cfg)
+        .unwrap_or_else(|e| panic!("{} failed to build: {e}", kind.label()));
+    b.finish();
+    let graph = sim.netgraph();
+    (run_all(&graph), timing_margins(&graph))
+}
+
+fn margin_json(m: &TimingMargin) -> String {
+    format!(
+        "{{\"bundle\": \"{}\", \"capture\": \"{}\", \"trigger\": \"{}\", \
+         \"data_ps\": {:.1}, \"strobe_ps\": {:.1}, \"lead_ps\": {:.1}, \"margin_ps\": {:.1}}}",
+        m.bundle, m.capture_data, m.capture_trigger,
+        m.data_max_ps, m.strobe_min_ps, m.data_lead_ps, m.margin_ps
+    )
+}
+
+fn main() {
+    println!("sal-lint — static netlist analysis over every link and corner\n");
+    let mut entries: Vec<String> = Vec::new();
+    let mut total_errors = 0usize;
+    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        for (label, cfg) in corners() {
+            let (report, margins) = lint_corner(kind, &cfg);
+            let errors = report.count(Severity::Error);
+            let warnings = report.count(Severity::Warning);
+            let infos = report.count(Severity::Info);
+            total_errors += errors;
+            let worst = margins
+                .iter()
+                .map(|m| m.margin_ps)
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "{:<3} {:<12} errors {:>2}, warnings {:>2}, infos {:>3}, captures {:>3}{}",
+                kind.label(),
+                label,
+                errors,
+                warnings,
+                infos,
+                margins.len(),
+                if margins.is_empty() {
+                    String::from("  (statically unconstrained)")
+                } else {
+                    format!(", worst margin {worst:+.1} ps")
+                }
+            );
+            for f in report.errors() {
+                println!("    ERROR [{}] {}: {}", f.pass, f.path, f.message);
+            }
+            if label == "default" {
+                for f in report.findings.iter().filter(|f| f.severity == Severity::Warning) {
+                    println!("    warn  [{}] {}: {}", f.pass, f.path, f.message);
+                }
+            }
+            let margin_list: Vec<String> =
+                margins.iter().map(|m| format!("      {}", margin_json(m))).collect();
+            entries.push(format!(
+                "    {{\"kind\": \"{}\", \"corner\": \"{}\", \"errors\": {}, \
+                 \"warnings\": {}, \"infos\": {}, \"margins\": [{}{}]}}",
+                kind.label(),
+                label,
+                errors,
+                warnings,
+                infos,
+                if margin_list.is_empty() { String::new() } else { format!("\n{}", margin_list.join(",\n")) },
+                if margin_list.is_empty() { "" } else { "\n    " },
+            ));
+        }
+    }
+
+    let json = format!("{{\n  \"corners\": [\n{}\n  ]\n}}\n", entries.join(",\n"));
+    std::fs::write("BENCH_lint.json", &json).expect("write BENCH_lint.json");
+    println!("\nwrote BENCH_lint.json ({} bytes)", json.len());
+
+    assert_eq!(total_errors, 0, "lint errors found — the netlist is structurally broken");
+    println!("all corners lint clean");
+}

@@ -266,9 +266,7 @@ pub fn deadlock_demo() -> DeadlockDemo {
     match run(LinkKind::I2PerTransfer, &LinkConfig::default(), &words, &opts) {
         Err(RunFailure::Deadlock { diagnosis, .. }) => {
             let stalled = diagnosis.as_ref().and_then(|d| d.first_label().map(str::to_string));
-            let report = diagnosis
-                .map(|d| d.to_string())
-                .unwrap_or_else(|| "no watchdog diagnosis".to_string());
+            let report = diagnosis.map_or_else(|| "no watchdog diagnosis".to_string(), |d| d.to_string());
             DeadlockDemo { forced: forced.to_string(), stalled, report }
         }
         other => DeadlockDemo {
@@ -310,7 +308,7 @@ fn json_f64(v: f64) -> String {
 }
 
 fn json_opt_f64(v: Option<f64>) -> String {
-    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+    v.map_or_else(|| "null".to_string(), json_f64)
 }
 
 fn probe_json(p: &Probe) -> String {
@@ -353,9 +351,7 @@ pub fn to_json(r: &RobustnessReport) -> String {
         json_escape(&r.deadlock_demo.forced),
         r.deadlock_demo
             .stalled
-            .as_ref()
-            .map(|s| format!("\"{}\"", json_escape(s)))
-            .unwrap_or_else(|| "null".to_string()),
+            .as_ref().map_or_else(|| "null".to_string(), |s| format!("\"{}\"", json_escape(s))),
         json_escape(&r.deadlock_demo.report),
     );
     format!(

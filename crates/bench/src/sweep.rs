@@ -43,7 +43,7 @@ pub fn thread_count() -> usize {
     {
         return n;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Maps `f` over `items` on up to [`thread_count`] scoped threads,
@@ -183,9 +183,7 @@ mod tests {
     fn worker_panic_surfaces_as_error_not_hang() {
         let done = AtomicUsize::new(0);
         let err = parallel_map_with((0..16).collect::<Vec<usize>>(), 4, |i| {
-            if i == 3 {
-                panic!("boom at {i}");
-            }
+            assert!(i != 3, "boom at {i}");
             done.fetch_add(1, Ordering::Relaxed);
             i
         })

@@ -43,7 +43,7 @@ mod tests {
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert!(lines[0].contains("a") && lines[0].contains("long"));
+        assert!(lines[0].contains('a') && lines[0].contains("long"));
         assert!(lines[2].ends_with("1     2"));
     }
 }

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use sal_des::{ScopeId, SignalId, SimResult, Simulator, Time, Value};
+use sal_des::{CellClass, ComponentId, ScopeId, SignalId, SimResult, Simulator, Time, Value};
 
 use crate::async_cells::{CElement, DavidCell};
 use crate::error::BuildError;
@@ -206,20 +206,29 @@ impl<'a> CircuitBuilder<'a> {
 
     /// Leaves the current scope.
     pub fn pop_scope(&mut self) {
-        self.sim.pop_scope()
+        self.sim.pop_scope();
     }
 
     /// Declares an undriven input signal (driven later by a stimulus
     /// or another block).
     pub fn input(&mut self, name: &str, width: u8) -> SignalId {
         if !self.param_ok(
-            width >= 1 && width <= Value::MAX_WIDTH,
+            (1..=Value::MAX_WIDTH).contains(&width),
             name,
             "signal width must be 1..=64",
         ) {
             return self.placeholder(name, width);
         }
-        self.sim.add_signal(name, width)
+        let sig = self.sim.add_signal(name, width);
+        self.sim.mark_port(sig);
+        sig
+    }
+
+    /// Tags a freshly added component with its static-analysis class
+    /// and nominal delay (metadata only; see `sal_des::NetGraph`).
+    fn tag(&mut self, id: ComponentId, class: CellClass, delay: Time) {
+        self.sim.set_component_class(id, class);
+        self.sim.set_component_delay(id, delay);
     }
 
     fn account(&mut self, kind: CellKind, width: u8) -> crate::kind::CellParams {
@@ -238,6 +247,7 @@ impl<'a> CircuitBuilder<'a> {
         let out = self.sim.add_signal(name, width);
         let comp = Gate::new(op, inputs.to_vec(), out, width, p.delay);
         let id = self.sim.add_component(name, comp, inputs);
+        self.tag(id, CellClass::Comb, p.delay);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
@@ -316,6 +326,7 @@ impl<'a> CircuitBuilder<'a> {
         let out = self.sim.add_signal(name, width);
         let comp = Mux2::new(sel, a, b, out, p.delay);
         let id = self.sim.add_component(name, comp, &[sel, a, b]);
+        self.tag(id, CellClass::Comb, p.delay);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
@@ -337,6 +348,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = vec![d, en];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
+        self.tag(id, CellClass::Latch, p.delay);
+        self.sim.set_component_pins(id, &[d], &[en]);
         let res = self.sim.connect_driver(id, q);
         self.check_driver(name, res);
         self.sim.set_signal_energy(q, p.energy_fj);
@@ -362,6 +375,9 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = vec![clk];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
+        self.tag(id, CellClass::Dff, p.delay);
+        self.sim.set_component_pins(id, &[d], &[clk]);
+        self.sim.declare_read(id, d);
         let res = self.sim.connect_driver(id, q);
         self.check_driver(name, res);
         self.sim.set_signal_energy(q, p.energy_fj);
@@ -392,6 +408,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = vec![d, clk];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
+        self.tag(id, CellClass::Dff, p.delay);
+        self.sim.set_component_pins(id, &[d], &[clk]);
         let res = self.sim.connect_driver(id, q);
         self.check_driver(name, res);
         self.sim.set_signal_energy(q, p.energy_fj);
@@ -423,6 +441,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = inputs.to_vec();
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
+        self.tag(id, CellClass::CElement, p.delay);
+        self.sim.set_component_pins(id, &[], inputs);
         let res = self.sim.connect_driver(id, z);
         self.check_driver(name, res);
         self.sim.set_signal_energy(z, p.energy_fj);
@@ -443,6 +463,7 @@ impl<'a> CircuitBuilder<'a> {
         let p = self.account(CellKind::Buf, width);
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, p.delay);
         let id = self.sim.add_component(name, comp, &[src]);
+        self.tag(id, CellClass::Comb, p.delay);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
@@ -470,6 +491,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = inputs.to_vec();
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
+        self.tag(id, CellClass::CElement, p.delay);
+        self.sim.set_component_pins(id, &[], inputs);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
@@ -491,6 +514,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = vec![set, clr];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
+        self.tag(id, CellClass::DavidCell, p.delay);
+        self.sim.set_component_pins(id, &[], &[set, clr]);
         let res = self.sim.connect_driver(id, o2);
         self.check_driver(name, res);
         self.sim.set_signal_energy(o2, p.energy_fj);
@@ -519,6 +544,8 @@ impl<'a> CircuitBuilder<'a> {
         let mut ins = vec![set, clr];
         ins.extend(rstn);
         let id = self.sim.add_component(name, comp, &ins);
+        self.tag(id, CellClass::DavidCell, p.delay);
+        self.sim.set_component_pins(id, &[], &[set, clr]);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
@@ -529,6 +556,7 @@ impl<'a> CircuitBuilder<'a> {
         let p = self.account(CellKind::Tie, value.width());
         let out = self.sim.add_signal(name, value.width());
         let id = self.sim.add_component(name, ConstDriver::new(out, value), &[]);
+        self.tag(id, CellClass::Source, Time::ZERO);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
@@ -541,6 +569,7 @@ impl<'a> CircuitBuilder<'a> {
     pub fn clock(&mut self, name: &str, period: Time) -> SignalId {
         let out = self.sim.add_signal(name, 1);
         let id = self.sim.add_component(name, ClockGen::new(out, period), &[]);
+        self.tag(id, CellClass::Source, Time::ZERO);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.schedule_wake(id, Time::ZERO);
@@ -596,6 +625,7 @@ impl<'a> CircuitBuilder<'a> {
         let out = self.sim.add_signal(name, width);
         let comp = crate::comb::SliceWire::new(bus, lo, width, out);
         let id = self.sim.add_component(name, comp, &[bus]);
+        self.tag(id, CellClass::Route, Time::ZERO);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         out
@@ -620,6 +650,7 @@ impl<'a> CircuitBuilder<'a> {
         let out = self.sim.add_signal(name, width);
         let comp = crate::comb::ConcatWire::new(parts.to_vec(), out);
         let id = self.sim.add_component(name, comp, parts);
+        self.tag(id, CellClass::Route, Time::ZERO);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         out
@@ -640,6 +671,7 @@ impl<'a> CircuitBuilder<'a> {
         let out = self.sim.add_signal(name, width);
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
         let id = self.sim.add_component(name, comp, &[src]);
+        self.tag(id, CellClass::Wire, delay);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, energy_fj);
@@ -666,6 +698,7 @@ impl<'a> CircuitBuilder<'a> {
         }
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
         let id = self.sim.add_component(name, comp, &[src]);
+        self.tag(id, CellClass::Wire, delay);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, energy_fj);
@@ -711,6 +744,7 @@ impl<'a> CircuitBuilder<'a> {
             let out = self.sim.add_signal(&format!("{name}_d0"), 1);
             let comp = Gate::new(GateOp::Inv, vec![tok_last], out, 1, p.delay);
             let id = self.sim.add_component(&format!("{name}_d0"), comp, &[tok_last]);
+            self.tag(id, CellClass::Comb, p.delay);
             let res = self.sim.connect_driver(id, out);
             self.check_driver(name, res);
             self.sim.set_signal_energy(out, p.energy_fj);
@@ -728,6 +762,8 @@ impl<'a> CircuitBuilder<'a> {
                 let mut ins = vec![prev, clk];
                 ins.extend(rstn);
                 let id = self.sim.add_component(&format!("{name}_q{k}"), comp, &ins);
+                self.tag(id, CellClass::Dff, p.delay);
+                self.sim.set_component_pins(id, &[prev], &[clk]);
                 let res = self.sim.connect_driver(id, tok_last);
                 self.check_driver(name, res);
                 self.sim.set_signal_energy(tok_last, p.energy_fj);
@@ -765,6 +801,7 @@ impl<'a> CircuitBuilder<'a> {
             let out = self.sim.add_signal(&format!("{name}_n0"), 1);
             let comp = Gate::new(GateOp::Inv, vec![tok_last], out, 1, p.delay);
             let id = self.sim.add_component(&format!("{name}_n0"), comp, &[tok_last]);
+            self.tag(id, CellClass::Comb, p.delay);
             let res = self.sim.connect_driver(id, out);
             self.check_driver(name, res);
             self.sim.set_signal_energy(out, p.energy_fj);
@@ -779,6 +816,8 @@ impl<'a> CircuitBuilder<'a> {
             let mut ins = vec![d0, clk];
             ins.extend(rstn);
             let id = self.sim.add_component(&format!("{name}_q0"), comp, &ins);
+            self.tag(id, CellClass::Dff, p.delay);
+            self.sim.set_component_pins(id, &[d0], &[clk]);
             let res = self.sim.connect_driver(id, q0_sig);
             self.check_driver(name, res);
             self.sim.set_signal_energy(q0_sig, p.energy_fj);
@@ -798,6 +837,8 @@ impl<'a> CircuitBuilder<'a> {
             let mut ins = vec![d, clk];
             ins.extend(rstn);
             let id = self.sim.add_component(&format!("{name}_q{k}"), comp, &ins);
+            self.tag(id, CellClass::Dff, p.delay);
+            self.sim.set_component_pins(id, &[d], &[clk]);
             let res = self.sim.connect_driver(id, q_sig);
             self.check_driver(name, res);
             self.sim.set_signal_energy(q_sig, p.energy_fj);
@@ -893,6 +934,12 @@ impl<'a> CircuitBuilder<'a> {
         let p = self.account(CellKind::Inv, 1);
         let comp = Gate::new(GateOp::Inv, vec![node], fb, 1, p.delay);
         let id = self.sim.add_component(&format!("{name}_inv_fb"), comp, &[node]);
+        self.tag(id, CellClass::Comb, p.delay);
+        // A ring oscillator is the one intentional combinational loop
+        // in the paper's designs (the I3 burst clock); exempting its
+        // loop-closing inverter lets the loop lint downgrade every
+        // cycle through it to an informational finding.
+        self.sim.set_loop_exempt(id);
         let res = self.sim.connect_driver(id, fb);
         self.check_driver(name, res);
         self.sim.set_signal_energy(fb, p.energy_fj);

@@ -58,6 +58,7 @@ mod component;
 mod error;
 mod event;
 mod fault;
+mod netgraph;
 mod scope;
 mod signal;
 mod sim;
@@ -71,6 +72,9 @@ mod watchdog;
 pub use component::{Component, ComponentId, Ctx};
 pub use error::{SimError, SimResult};
 pub use fault::{FaultPlan, Glitch, SkewRule, StuckAt};
+pub use netgraph::{
+    CellClass, NetBundle, NetCapture, NetComponent, NetGraph, NetSignal, NetWatch,
+};
 pub use scope::{ScopeId, ScopePath};
 pub use signal::{SignalId, SignalInfo};
 pub use sim::{SimConfig, Simulator};

@@ -3,6 +3,9 @@
 use crate::component::{Component, ComponentId, Ctx};
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan, FaultState};
+use crate::netgraph::{
+    CellClass, NetBundle, NetCapture, NetComponent, NetGraph, NetMeta, NetSignal, NetWatch,
+};
 use crate::scope::{ScopeId, ScopePath, ScopeTree};
 use crate::signal::{SignalId, SignalInfo, SignalState};
 use crate::stats::{ActivityReport, EnergyReport, ScopeEnergy, SimProfile};
@@ -91,6 +94,10 @@ pub struct Simulator {
     /// Handshake pairs registered for deadlock diagnosis, in
     /// registration order.
     watches: Vec<HandshakeWatch>,
+    /// Static-netlist annotation side tables (cell classes, declared
+    /// reads, bundled-data launch/capture points…). Never read by the
+    /// event loop; snapshotted by [`Simulator::netgraph`].
+    net: NetMeta,
     /// Wake events processed (profiling counter).
     wakes: u64,
     /// Deltas processed — queue pops, each a wake, a fault action or a
@@ -156,6 +163,7 @@ impl Simulator {
             delta_seq: 1,
             pending_evals: Vec::new(),
             watches: Vec::new(),
+            net: NetMeta::default(),
             wakes: 0,
             deltas: 0,
             queue_depth_sum: 0,
@@ -206,7 +214,7 @@ impl Simulator {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn add_signal(&mut self, name: &str, width: u8) -> SignalId {
-        assert!(width >= 1 && width <= Value::MAX_WIDTH, "width must be 1..=64");
+        assert!((1..=Value::MAX_WIDTH).contains(&width), "width must be 1..=64");
         let id = SignalId(self.kernel.signals.len() as u32);
         self.kernel
             .signals
@@ -287,6 +295,7 @@ impl Simulator {
         // instead of the wake + zero-delay-drive pair a timer-driven
         // stimulus would cost.
         let id = self.add_component("stimulus", comp, &[sig]);
+        self.net.set_class(id, CellClass::Source);
         self.connect_driver(id, sig).expect("stimulus target already driven");
         if !schedule.is_empty() {
             self.kernel.queue.push(schedule[0].0, EventKind::Wake { comp: id });
@@ -301,13 +310,190 @@ impl Simulator {
         F: FnMut(Time, Value) + 'static,
     {
         let comp = MonitorComp { sig, callback: Box::new(callback) };
-        self.add_component(name, comp, &[sig])
+        let id = self.add_component(name, comp, &[sig]);
+        self.net.set_class(id, CellClass::Monitor);
+        id
     }
 
     /// Schedules an initial wakeup for a component (used by sources
     /// that need a kick before any input ever changes).
     pub fn schedule_wake(&mut self, comp: ComponentId, at: Time) {
         self.kernel.queue.push(at, EventKind::Wake { comp });
+    }
+
+    // ------------------------------------------------------------------
+    // Static-netlist annotation (metadata only — see `netgraph`)
+    // ------------------------------------------------------------------
+
+    /// Tags a component with its behavioural [`CellClass`]. Pure
+    /// metadata for static analysis; simulation is unaffected.
+    pub fn set_component_class(&mut self, comp: ComponentId, class: CellClass) {
+        self.net.set_class(comp, class);
+    }
+
+    /// The annotated class of a component ([`CellClass::Unknown`] if
+    /// never tagged).
+    pub fn component_class(&self, comp: ComponentId) -> CellClass {
+        self.net.class(comp)
+    }
+
+    /// Records a component's nominal propagation delay for static
+    /// timing. Metadata only — the component applies its own delay
+    /// dynamically.
+    pub fn set_component_delay(&mut self, comp: ComponentId, delay: Time) {
+        self.net.set_delay(comp, delay);
+    }
+
+    /// Annotates which of a component's inputs are data pins and
+    /// which are trigger pins (clock/enable/set/clear). The static
+    /// timing pass traverses state-holding cells through these roles.
+    pub fn set_component_pins(&mut self, comp: ComponentId, data: &[SignalId], trigger: &[SignalId]) {
+        for &s in data {
+            self.net.data_pins.push((comp, s));
+        }
+        for &s in trigger {
+            self.net.trigger_pins.push((comp, s));
+        }
+    }
+
+    /// Declares that `comp` reads `sig` without being sensitized to
+    /// it (e.g. a flip-flop samples `d` at the clock edge but is not
+    /// woken by `d` changes). Keeps the connectivity lint aware of
+    /// the read without adding the signal to the dynamic fanout.
+    pub fn declare_read(&mut self, comp: ComponentId, sig: SignalId) {
+        self.net.declared_reads.push((comp, sig));
+    }
+
+    /// Exempts a component from the combinational-loop lint (the one
+    /// legitimate use is a ring oscillator's loop-closing inverter).
+    pub fn set_loop_exempt(&mut self, comp: ComponentId) {
+        self.net.set_loop_exempt(comp);
+    }
+
+    /// Marks a signal as a block port: it is legitimately undriven
+    /// until a stimulus or an enclosing netlist drives it.
+    pub fn mark_port(&mut self, sig: SignalId) {
+        self.net.ports.push(sig);
+    }
+
+    /// Marks a signal as legitimately multiply-driven (an arbitrated
+    /// or wired-OR node). Without this tag the connectivity lint
+    /// reports declared extra drivers as errors.
+    pub fn mark_arbited(&mut self, sig: SignalId) {
+        self.net.arbited.push(sig);
+    }
+
+    /// Records `comp` as an *additional* driver of `sig` in the
+    /// static graph. The kernel's single-driver invariant is not
+    /// relaxed — this is metadata for modelling shared nodes, and the
+    /// connectivity lint flags it unless the signal is
+    /// [arbited](Simulator::mark_arbited).
+    pub fn connect_extra_driver(&mut self, comp: ComponentId, sig: SignalId) {
+        self.net.extra_drivers.push((sig, comp));
+    }
+
+    /// Registers a bundled-data launch point: transitions of `origin`
+    /// launch both a data value and the strobe that captures it
+    /// downstream. `data_lead` is the head start the data event has
+    /// over the strobe event at the origin (zero when both are the
+    /// same transition).
+    pub fn register_bundle(&mut self, label: &str, origin: SignalId, data_lead: Time) {
+        self.net.bundles.push(NetBundle { label: label.to_string(), origin, data_lead });
+    }
+
+    /// Registers a bundled-data capture point: `trigger` closes a
+    /// storage element over `data`, so along every matched launch
+    /// path the data must arrive before the trigger.
+    pub fn register_capture(&mut self, data: SignalId, trigger: SignalId) {
+        self.net.captures.push(NetCapture { data, trigger });
+    }
+
+    /// Snapshots the netlist's static structure — drivers, readers,
+    /// widths, scopes, cell classes and every registered annotation —
+    /// into an immutable [`NetGraph`] for the lint passes.
+    pub fn netgraph(&self) -> NetGraph {
+        let nsig = self.kernel.signals.len();
+        let ncomp = self.comps.len();
+        let mut signals: Vec<NetSignal> = (0..nsig)
+            .map(|i| {
+                let st = &self.kernel.signals[i];
+                let info = self.signal_info(SignalId(i as u32));
+                NetSignal {
+                    id: SignalId(i as u32),
+                    name: st.name.clone(),
+                    path: info.path,
+                    width: st.width,
+                    drivers: st.driver.into_iter().collect(),
+                    readers: st.fanout.clone(),
+                    is_port: false,
+                    is_arbited: false,
+                }
+            })
+            .collect();
+        for &(sig, comp) in &self.net.extra_drivers {
+            signals[sig.index()].drivers.push(comp);
+        }
+        for &sig in &self.net.ports {
+            signals[sig.index()].is_port = true;
+        }
+        for &sig in &self.net.arbited {
+            signals[sig.index()].is_arbited = true;
+        }
+        let mut components: Vec<NetComponent> = (0..ncomp)
+            .map(|i| {
+                let id = ComponentId(i as u32);
+                NetComponent {
+                    id,
+                    name: self.comp_names[i].clone(),
+                    scope_path: self.scope_path_str(self.kernel.comp_scopes[i]).to_string(),
+                    class: self.net.class(id),
+                    delay: self.net.delays.get(i).copied().flatten(),
+                    inputs: Vec::new(),
+                    reads: Vec::new(),
+                    outputs: Vec::new(),
+                    data_pins: Vec::new(),
+                    trigger_pins: Vec::new(),
+                    loop_exempt: self.net.loop_exempt.get(i).copied().unwrap_or(false),
+                }
+            })
+            .collect();
+        // Invert the per-signal fanout/driver tables into per-component
+        // input/output lists (signal order, deterministic).
+        for (i, st) in self.kernel.signals.iter().enumerate() {
+            let sig = SignalId(i as u32);
+            for &comp in &st.fanout {
+                components[comp.index()].inputs.push(sig);
+            }
+            if let Some(driver) = st.driver {
+                components[driver.index()].outputs.push(sig);
+            }
+        }
+        for &(sig, comp) in &self.net.extra_drivers {
+            components[comp.index()].outputs.push(sig);
+        }
+        for &(comp, sig) in &self.net.declared_reads {
+            components[comp.index()].reads.push(sig);
+            if !signals[sig.index()].readers.contains(&comp) {
+                signals[sig.index()].readers.push(comp);
+            }
+        }
+        for &(comp, sig) in &self.net.data_pins {
+            components[comp.index()].data_pins.push(sig);
+        }
+        for &(comp, sig) in &self.net.trigger_pins {
+            components[comp.index()].trigger_pins.push(sig);
+        }
+        NetGraph {
+            signals,
+            components,
+            bundles: self.net.bundles.clone(),
+            captures: self.net.captures.clone(),
+            watches: self
+                .watches
+                .iter()
+                .map(|w| NetWatch { label: w.label.clone(), req: w.req, ack: w.ack })
+                .collect(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -577,20 +763,20 @@ impl Simulator {
         let ncomp = self.comps.len();
         let mut comp_scale = vec![1.0f64; ncomp];
         if plan.delay_scale != 1.0 || plan.delay_sigma > 0.0 {
-            for c in 0..ncomp {
+            for (c, scale) in comp_scale.iter_mut().enumerate() {
                 let path = self.scopes.path_str(self.kernel.comp_scopes[c]);
                 if plan.scope_matches(path) {
-                    comp_scale[c] = plan.sample_scale(c);
+                    *scale = plan.sample_scale(c);
                 }
             }
         }
         let mut extra_delay_fs = vec![0u64; nsig];
         if !plan.skews.is_empty() {
-            for i in 0..nsig {
+            for (i, extra) in extra_delay_fs.iter_mut().enumerate() {
                 let path = self.signal_info(SignalId(i as u32)).path;
                 for rule in &plan.skews {
                     if path.contains(rule.substring.as_str()) {
-                        extra_delay_fs[i] += rule.extra.as_fs();
+                        *extra += rule.extra.as_fs();
                     }
                 }
             }

@@ -171,9 +171,9 @@ impl fmt::Display for Time {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 == 0 {
             write!(f, "0s")
-        } else if self.0 % 1_000_000 == 0 {
+        } else if self.0.is_multiple_of(1_000_000) {
             write!(f, "{}ns", self.0 / 1_000_000)
-        } else if self.0 % 1_000 == 0 {
+        } else if self.0.is_multiple_of(1_000) {
             write!(f, "{}ps", self.0 / 1_000)
         } else {
             write!(f, "{}fs", self.0)

@@ -223,7 +223,7 @@ pub fn fmt_bits(v: &Value) -> String {
 }
 
 fn signal_path(signals: &[TraceSignalMeta], sig: SignalId) -> &str {
-    signals.get(sig.index()).map(|m| m.path.as_str()).unwrap_or("?")
+    signals.get(sig.index()).map_or("?", |m| m.path.as_str())
 }
 
 /// Writes one record as a JSON line:

@@ -84,7 +84,7 @@ impl Value {
     pub const MAX_WIDTH: u8 = 64;
 
     fn mask(width: u8) -> u64 {
-        debug_assert!(width >= 1 && width <= 64);
+        debug_assert!((1..=64).contains(&width));
         if width == 64 {
             u64::MAX
         } else {
@@ -98,7 +98,7 @@ impl Value {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn zero(width: u8) -> Value {
-        assert!(width >= 1 && width <= 64, "width must be 1..=64");
+        assert!((1..=64).contains(&width), "width must be 1..=64");
         Value { width, bits: 0, x: 0 }
     }
 
@@ -108,7 +108,7 @@ impl Value {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn ones(width: u8) -> Value {
-        assert!(width >= 1 && width <= 64, "width must be 1..=64");
+        assert!((1..=64).contains(&width), "width must be 1..=64");
         Value { width, bits: Self::mask(width), x: 0 }
     }
 
@@ -118,7 +118,7 @@ impl Value {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn all_x(width: u8) -> Value {
-        assert!(width >= 1 && width <= 64, "width must be 1..=64");
+        assert!((1..=64).contains(&width), "width must be 1..=64");
         Value { width, bits: 0, x: Self::mask(width) }
     }
 
@@ -134,7 +134,7 @@ impl Value {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn from_u64(width: u8, v: u64) -> Value {
-        assert!(width >= 1 && width <= 64, "width must be 1..=64");
+        assert!((1..=64).contains(&width), "width must be 1..=64");
         Value { width, bits: v & Self::mask(width), x: 0 }
     }
 

@@ -73,6 +73,9 @@ pub fn build_as_interface(
         // flag = David cell(set = le, clr = clear), driving the
         // pre-declared flag signal.
         b.david_cell_into("flag_sr", flag, le, clear, Some(rstn), false);
+        // Static-timing capture: the write latch closes when `le`
+        // self-clears; the deserialized word must already be stable.
+        b.sim().register_capture(din, le);
         let reg = b.dlatch("reg", din, le, None);
         // Two-FF synchronizer into the clock domain.
         let s1 = b.dff("sync1", flag, clk, Some(rstn));

@@ -344,11 +344,33 @@ pub fn build_link(
     name: &str,
     cfg: &LinkConfig,
 ) -> Result<LinkHandles, BuildError> {
-    match kind {
+    let handles = match kind {
         LinkKind::I1Sync => build_i1(b, name, cfg),
         LinkKind::I2PerTransfer => build_i2(b, name, cfg),
         LinkKind::I3PerWord => build_i3(b, name, cfg),
+    }?;
+    // In debug builds (every test run), fail fast on netlists that
+    // violate the structural invariants the links rely on. The lint
+    // passes only read the connectivity snapshot — they never touch
+    // kernel state — so a linted netlist replays bit-identically.
+    #[cfg(debug_assertions)]
+    {
+        let report = sal_lint::run_all(&b.sim().netgraph());
+        if report.has_errors() {
+            let summary: Vec<String> = report
+                .errors()
+                .map(|f| format!("[{}] {}: {}", f.pass, f.path, f.message))
+                .collect();
+            return Err(BuildError::Config {
+                message: format!(
+                    "netlist lint found {} error(s): {}",
+                    summary.len(),
+                    summary.join("; ")
+                ),
+            });
+        }
     }
+    Ok(handles)
 }
 
 #[cfg(test)]

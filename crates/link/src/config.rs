@@ -185,7 +185,7 @@ impl LinkConfig {
                 flit: self.flit_width,
             });
         }
-        if self.flit_width % self.slice_width != 0 {
+        if !self.flit_width.is_multiple_of(self.slice_width) {
             return Err(ConfigError::SliceNotDividing {
                 slice: self.slice_width,
                 flit: self.flit_width,

@@ -61,6 +61,9 @@ pub fn build_deserializer(
     let regs: Vec<SignalId> = (0..k)
         .map(|i| {
             let le = b.and2(&format!("le{i}"), reqin, tokens[i]);
+            // Static-timing capture: slice data must beat its request
+            // into the selected latch.
+            b.sim().register_capture(din, le);
             b.dlatch(&format!("reg{i}"), din, le, None)
         })
         .collect();

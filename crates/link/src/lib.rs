@@ -62,8 +62,6 @@ pub use as_interface::{build_as_interface, AsInterfacePorts};
 pub use assembly::{build_link, LinkHandles, LinkKind};
 pub use config::{ConfigError, LinkConfig, WordRxStyle};
 pub use deserializer::{build_deserializer, DeserializerPorts};
-#[allow(deprecated)]
-pub use measure::{run_flits, run_flits_checked};
 pub use measure::{
     run, BlockPower, LinkRun, MeasureOptions, RunFailure, TraceMode,
 };

@@ -452,7 +452,7 @@ pub fn run(
     let window = opts.window_override.unwrap_or_else(|| {
         Time::from_ns_f64(in_use.as_ns() / opts.usage)
     });
-    let t_window_end = sent.first().map(|&(t, _)| t).unwrap_or(Time::ZERO) + window;
+    let t_window_end = sent.first().map_or(Time::ZERO, |&(t, _)| t) + window;
     if sim.now() < t_window_end {
         sim.run_until(t_window_end).map_err(RunFailure::Sim)?;
     }
@@ -524,31 +524,6 @@ pub fn run(
         trace,
         metrics,
     })
-}
-
-/// Panicking wrapper kept for source compatibility.
-#[deprecated(note = "use `run`, which reports failures as `RunFailure` instead of panicking")]
-pub fn run_flits(
-    kind: LinkKind,
-    cfg: &LinkConfig,
-    words: &[u64],
-    opts: &MeasureOptions,
-) -> LinkRun {
-    match run(kind, cfg, words, opts) {
-        Ok(r) => r,
-        Err(e) => panic!("{e} (cfg: {cfg:?})"),
-    }
-}
-
-/// Former name of [`run`], kept for source compatibility.
-#[deprecated(note = "renamed to `run`")]
-pub fn run_flits_checked(
-    kind: LinkKind,
-    cfg: &LinkConfig,
-    words: &[u64],
-    opts: &MeasureOptions,
-) -> Result<LinkRun, RunFailure> {
-    run(kind, cfg, words, opts)
 }
 
 #[cfg(test)]

@@ -333,7 +333,7 @@ fn handshake_stats(
 }
 
 /// Which Fig 14 category a link-scope signal belongs to.
-fn classify<'a>(path: &str, scope: &str, buf: &'a mut String) -> Option<usize> {
+fn classify(path: &str, scope: &str, buf: &mut String) -> Option<usize> {
     buf.clear();
     buf.push_str(scope);
     buf.push('.');
@@ -414,7 +414,7 @@ fn depth_sweep(sent: &[(Time, u64)], received: &[(Time, u64)]) -> (Time, u32, f6
         if let Some(prev) = last {
             let dt = t.saturating_sub(prev);
             if depth > 0 {
-                busy = busy + dt;
+                busy += dt;
                 area_ns += depth as f64 * dt.as_ns();
             }
         }

@@ -8,7 +8,7 @@
 //! handshake is acknowledged.
 
 use sal_cells::CircuitBuilder;
-use sal_des::SignalId;
+use sal_des::{SignalId, Time};
 
 use crate::LinkConfig;
 
@@ -92,6 +92,12 @@ pub fn build_serializer(
     let ndone = b.inv("ndone", done);
     let req_core = b.and3("req_core", reqin, nack, ndone);
     let reqout = b.buf_chain("req_dly", req_core, matched_delay_bufs(k));
+
+    // Static-timing launch point: every slice of data is launched by
+    // the acknowledge edge that advances the token ring (`nack`), and
+    // the matched `req_dly` chain must give the token ring + one-hot
+    // mux time to settle before the strobe reaches any capture.
+    b.sim().register_bundle(name, nack, Time::ZERO);
 
     b.pop_scope();
     SerializerPorts { ackout, dout, reqout }

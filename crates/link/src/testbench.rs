@@ -8,7 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use sal_des::{Component, ComponentId, Ctx, Logic, SignalId, Simulator, Time, Value};
+use sal_des::{CellClass, Component, ComponentId, Ctx, Logic, SignalId, Simulator, Time, Value};
 
 /// A shared recording of `(time, word)` observations.
 pub type Record = Rc<RefCell<Vec<(Time, u64)>>>;
@@ -108,14 +108,13 @@ impl Component for HsProducer {
             }
         }
         match self.state {
-            ProducerState::Idle => {
-                if self.next < self.words.len() {
+            ProducerState::Idle
+                if self.next < self.words.len() => {
                     let w = self.words[self.next];
                     ctx.drive(self.data, Value::from_u64(self.width, w), Time::ZERO);
                     self.state = ProducerState::DataDriven;
                     ctx.wake_after(self.bundle);
                 }
-            }
             ProducerState::DataDriven => {
                 let w = self.words[self.next];
                 self.next += 1;
@@ -143,6 +142,7 @@ pub fn attach_producer(
     let data = p.data;
     let ack = p.ack;
     let id = sim.add_component(name, p, &[ack]);
+    sim.set_component_class(id, CellClass::Env);
     sim.connect_driver(id, req).expect("producer req already driven");
     sim.connect_driver(id, data).expect("producer data already driven");
     sim.schedule_wake(id, Time::ZERO);
@@ -211,6 +211,7 @@ pub fn attach_consumer(sim: &mut Simulator, name: &str, c: HsConsumer, start: Ti
     let ack = c.ack;
     let _ = start;
     let id = sim.add_component(name, c, &[req]);
+    sim.set_component_class(id, CellClass::Env);
     sim.connect_driver(id, ack).expect("consumer ack already driven");
     // Idle levels must be driven from t = 0 (see attach_producer).
     sim.schedule_wake(id, Time::ZERO);
@@ -331,6 +332,7 @@ pub fn attach_sync_source(
     let valid = s.valid;
     let _ = start;
     let id = sim.add_component(name, s, &[clk]);
+    sim.set_component_class(id, CellClass::Env);
     sim.connect_driver(id, flit).expect("source flit already driven");
     sim.connect_driver(id, valid).expect("source valid already driven");
     sim.schedule_wake(id, Time::ZERO);
@@ -417,6 +419,7 @@ pub fn attach_sync_sink(
     let stall = s.stall;
     let _ = start;
     let id = sim.add_component(name, s, &[clk]);
+    sim.set_component_class(id, CellClass::Env);
     sim.connect_driver(id, stall).expect("sink stall already driven");
     sim.schedule_wake(id, Time::ZERO);
     id

@@ -43,6 +43,9 @@ pub fn build_word_deserializer(
 
     // Data shift register: slice 0 arrives first and ends in the last
     // stage, so the last stage holds the word's low bits.
+    // Static-timing capture: each strobe edge clocks `din` into the
+    // shift register, so the slice must be stable before `valid`.
+    b.sim().register_capture(din, valid);
     let stages = b.shift_register("sh", din, valid, Some(rstn), k);
     let ordered: Vec<SignalId> = stages.iter().rev().copied().collect();
     let dout = b.concat("dout", &ordered);
@@ -111,6 +114,9 @@ pub fn build_word_deserializer_demux(
     let regs: Vec<SignalId> = (0..k)
         .map(|i| {
             let le = b.and2(&format!("le{i}"), valid, tokens[i]);
+            // Static-timing capture: the selected latch closes on the
+            // strobe fall; the slice must be there first.
+            b.sim().register_capture(din, le);
             b.dlatch(&format!("reg{i}"), din, le, None)
         })
         .collect();
@@ -161,6 +167,7 @@ pub fn build_word_deserializer_early(
     b.push_scope(name);
 
     // Shift-register front end, exactly as the baseline Fig 8b.
+    b.sim().register_capture(din, valid);
     let stages = b.shift_register("sh", din, valid, Some(rstn), k);
     let ordered: Vec<SignalId> = stages.iter().rev().copied().collect();
     let word_raw = b.concat("word_raw", &ordered);

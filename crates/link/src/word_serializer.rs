@@ -10,8 +10,8 @@
 //! chosen so a 4-slice burst takes ≈1.1 ns, the paper's measured
 //! `Tburst`.
 
-use sal_cells::CircuitBuilder;
-use sal_des::SignalId;
+use sal_cells::{CellKind, CircuitBuilder};
+use sal_des::{SignalId, Time};
 
 use crate::LinkConfig;
 
@@ -92,6 +92,15 @@ pub fn build_word_serializer(
     // strictly before its clock. Tuning VALID is the paper's §IV knob.
     let valid = b.buf_chain("valid_dly", valid_core, 3);
 
+    // Static-timing launch point. The slice data is launched by the
+    // strobe's *previous falling* edge (the token ring advances on
+    // `nvalid`), so relative to the next rising `valid_core` edge the
+    // data has a head start of one oscillator half-period — `stages`
+    // inverter delays.
+    let inv_delay = b.library().params(CellKind::Inv).delay;
+    let half_period = Time::from_fs(inv_delay.as_fs() * stages as u64);
+    b.sim().register_bundle(name, valid_core, half_period);
+
     // Slice select ring, advanced at each VALID fall.
     let tokens = b.ring_counter("sel", nvalid, Some(rstn), k);
     let dout = b.onehot_mux("dout", &tokens, &slices);
@@ -140,7 +149,7 @@ mod tests {
                 let now = ctx.now();
                 self.slices.borrow_mut().push((now, d));
                 self.count += 1;
-                if self.count % self.k == 0 {
+                if self.count.is_multiple_of(self.k) {
                     ctx.drive(self.ack_back, Value::one(1), Time::from_ps(300));
                 } else if self.count % self.k == 1 {
                     ctx.drive(self.ack_back, Value::zero(1), Time::from_ps(50));

@@ -1,0 +1,91 @@
+//! Connectivity lints: undriven-but-read, multiply-driven without an
+//! arbiter tag, dead (driven-never-read) signals, and width
+//! consistency of cell reads.
+
+use sal_des::{CellClass, NetGraph};
+
+use crate::report::{LintReport, Severity};
+
+/// Pass name used in findings.
+pub const PASS: &str = "connectivity";
+
+/// Runs the connectivity lints over `graph`, appending to `report`.
+pub fn check(graph: &NetGraph, report: &mut LintReport) {
+    for sig in &graph.signals {
+        // A monitor read keeps no silicon alive; only cell and
+        // testbench readers make an undriven signal a real defect.
+        let real_readers = sig
+            .readers
+            .iter()
+            .filter(|&&c| graph.component(c).class != CellClass::Monitor)
+            .count();
+        if sig.drivers.is_empty() && real_readers > 0 && !sig.is_port {
+            report.push(
+                Severity::Error,
+                PASS,
+                &sig.path,
+                format!(
+                    "undriven signal is read by {} cell(s); every non-port input must \
+                     have a driver (floating inputs read X forever)",
+                    real_readers
+                ),
+            );
+        }
+        if sig.drivers.len() > 1 && !sig.is_arbited {
+            let names: Vec<&str> = sig
+                .drivers
+                .iter()
+                .map(|&c| graph.component(c).name.as_str())
+                .collect();
+            report.push(
+                Severity::Error,
+                PASS,
+                &sig.path,
+                format!(
+                    "{} drivers ({}) on a signal not marked as arbitrated",
+                    sig.drivers.len(),
+                    names.join(", ")
+                ),
+            );
+        }
+        if !sig.drivers.is_empty() && sig.readers.is_empty() {
+            report.push(
+                Severity::Warning,
+                PASS,
+                &sig.path,
+                "driven but never read (dead logic or missing connection)".to_string(),
+            );
+        }
+    }
+
+    // Width consistency: for silicon cells, every read must either
+    // match the cell's output width or be a 1-bit control/broadcast
+    // input. Routing cells (slice/concat) reshape widths by design
+    // and are exempt, as are sources, monitors and testbench models.
+    for comp in &graph.components {
+        if !comp.class.is_width_checked() {
+            continue;
+        }
+        let Some(out_w) = comp.outputs.iter().map(|&s| graph.signal(s).width).max() else {
+            continue;
+        };
+        for &input in comp.inputs.iter().chain(comp.reads.iter()) {
+            let w = graph.signal(input).width;
+            if w != 1 && w != out_w {
+                report.push(
+                    Severity::Error,
+                    PASS,
+                    &graph.signal(input).path,
+                    format!(
+                        "width {} read by {}-bit {} cell '{}' (inputs must be 1 bit or \
+                         match the output width)",
+                        w,
+                        out_w,
+                        comp.class.label(),
+                        comp.name
+                    ),
+                );
+            }
+        }
+    }
+}

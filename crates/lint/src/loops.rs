@@ -1,0 +1,162 @@
+//! Combinational-loop classification: Tarjan SCC over the subgraph of
+//! combinationally transparent cells.
+//!
+//! A cycle that passes through a state-holding cell (latch, flip-flop,
+//! C-element, David cell) is sequential feedback — the bread and
+//! butter of async control — and is not reported. A cycle made only
+//! of transparent cells (gates, wires, routing) is a combinational
+//! loop: an oscillator or an X-latching hazard. The one intentional
+//! instance in the paper's designs is the I3 ring oscillator, whose
+//! loop-closing inverter carries a loop exemption; cycles through an
+//! exempted cell are reported as info instead of error.
+
+use sal_des::{NetComponent, NetGraph};
+
+use crate::report::{LintReport, Severity};
+
+/// Pass name used in findings.
+pub const PASS: &str = "loops";
+
+/// Runs the loop lint over `graph`, appending to `report`.
+pub fn check(graph: &NetGraph, report: &mut LintReport) {
+    let n = graph.components.len();
+    // Forward adjacency restricted to transparent cells: component →
+    // components sensitized on one of its output signals.
+    let transparent: Vec<bool> =
+        graph.components.iter().map(|c| c.class.is_transparent()).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for comp in &graph.components {
+        if !transparent[comp.id.index()] {
+            continue;
+        }
+        for &out in &comp.outputs {
+            for &reader in &graph.signal(out).readers {
+                if transparent[reader.index()]
+                    && graph.component(reader).inputs.contains(&out)
+                {
+                    adj[comp.id.index()].push(reader.index());
+                }
+            }
+        }
+    }
+
+    for scc in tarjan(&adj, &transparent) {
+        let is_cycle = scc.len() > 1
+            || adj[scc[0]].contains(&scc[0]); // single-node self-loop
+        if !is_cycle {
+            continue;
+        }
+        let exempt = scc
+            .iter()
+            .any(|&i| graph.components[i].loop_exempt);
+        let mut members: Vec<String> = scc
+            .iter()
+            .map(|&i| component_path(&graph.components[i]))
+            .collect();
+        members.sort();
+        let shown = members.len().min(6);
+        let suffix = if members.len() > shown {
+            format!(", … ({} cells total)", members.len())
+        } else {
+            String::new()
+        };
+        let anchor = members[0].clone();
+        if exempt {
+            report.push(
+                Severity::Info,
+                PASS,
+                &anchor,
+                format!(
+                    "intentional combinational loop ({} cells, ring-oscillator \
+                     exemption): {}{}",
+                    members.len(),
+                    members[..shown].join(", "),
+                    suffix
+                ),
+            );
+        } else {
+            report.push(
+                Severity::Error,
+                PASS,
+                &anchor,
+                format!(
+                    "combinational loop through {} cell(s) with no state-holding \
+                     element: {}{}",
+                    members.len(),
+                    members[..shown].join(", "),
+                    suffix
+                ),
+            );
+        }
+    }
+}
+
+fn component_path(c: &NetComponent) -> String {
+    if c.scope_path.is_empty() {
+        c.name.clone()
+    } else {
+        format!("{}.{}", c.scope_path, c.name)
+    }
+}
+
+/// Iterative Tarjan SCC over the masked component graph. Returns the
+/// strongly connected components in a deterministic order.
+fn tarjan(adj: &[Vec<usize>], mask: &[bool]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if !mask[start] || index[start] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == UNSET {
+                    frames.push((w, 0));
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}

@@ -1,0 +1,272 @@
+//! Static bundled-data timing: longest data-path delay versus
+//! shortest strobe-path delay from each registered launch point
+//! ([`NetBundle`](sal_des::NetBundle)) to each capture cell
+//! ([`NetCapture`](sal_des::NetCapture)).
+//!
+//! The model is classic static timing adapted to bundled-data
+//! handshakes. A *launch* is a transition of the bundle's origin
+//! signal (the acknowledge that advances the serializer's slice
+//! token, the ring-oscillator tap that paces the I3 burst). From the
+//! origin two cones fan out:
+//!
+//! * the **data cone** is traced backwards from the capture's data
+//!   pin, *maximizing* delay. Combinational cells, wire transports
+//!   and routing are transparent; a latch is transparent through its
+//!   `d` pin (adding its latch delay); a flip-flop's output launches
+//!   from its clock pin (reg-to-reg paths start at the launching
+//!   clock, as in any STA); C-elements and David cells carry control,
+//!   not data, and terminate the cone.
+//! * the **strobe cone** is traced backwards from the capture's
+//!   trigger pin, *minimizing* delay. Control transitions flow
+//!   through everything except sources: gates and wires directly,
+//!   state-holding cells through their trigger pins (a C-element
+//!   forwards the request edge, a latch enable follows its
+//!   controller).
+//!
+//! The static margin of a capture is `data_lead + strobe_min −
+//! data_max`: the time the data settles before the strobe closes the
+//! capture window. A non-positive margin is an error (the matched
+//! delay does not cover the data path); positive margins are
+//! reported as info so the `sal-lint` bin can expose them — they are
+//! the static counterpart of the simulated skew margins in
+//! `BENCH_robustness.json`.
+//!
+//! Cycles (token rings, handshake feedback) are cut on the DFS stack,
+//! and results computed under a cut are not memoized, so the
+//! traversal is deterministic and terminates.
+
+use sal_des::{CellClass, NetComponent, NetGraph, SignalId};
+
+use crate::report::{LintReport, Severity};
+
+/// Pass name used in findings.
+pub const PASS: &str = "timing";
+
+/// One evaluated capture: which bundle it paired with and the static
+/// delays/margin in picoseconds.
+#[derive(Debug, Clone)]
+pub struct TimingMargin {
+    /// Label of the bundle the capture paired with (nearest launch
+    /// point by data delay).
+    pub bundle: String,
+    /// Path of the captured data signal.
+    pub capture_data: String,
+    /// Path of the capturing trigger signal.
+    pub capture_trigger: String,
+    /// Longest data-path delay from the origin, ps.
+    pub data_max_ps: f64,
+    /// Shortest strobe-path delay from the origin, ps.
+    pub strobe_min_ps: f64,
+    /// Data head start at the origin, ps.
+    pub data_lead_ps: f64,
+    /// Static margin: `data_lead + strobe_min − data_max`, ps.
+    pub margin_ps: f64,
+}
+
+/// Computes the static margin of every registered capture that is
+/// reachable from a registered bundle. Captures whose data cone
+/// reaches no bundle origin are unconstrained (e.g. synchronous
+/// captures timed by the clock) and are skipped.
+pub fn timing_margins(graph: &NetGraph) -> Vec<TimingMargin> {
+    let mut out = Vec::new();
+    for cap in &graph.captures {
+        // Pair with the nearest launch point: the bundle with the
+        // smallest maximal data delay into this capture.
+        let mut best: Option<(usize, i64)> = None;
+        for (bi, b) in graph.bundles.iter().enumerate() {
+            if let Some(d) = cone(graph, cap.data, b.origin, Mode::DataMax) {
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((bi, d));
+                }
+            }
+        }
+        let Some((bi, data_max)) = best else { continue };
+        let bundle = &graph.bundles[bi];
+        let strobe_min = cone(graph, cap.trigger, bundle.origin, Mode::StrobeMin);
+        let lead = bundle.data_lead.as_fs() as i64;
+        let margin_fs = strobe_min.map(|s| lead + s - data_max);
+        out.push(TimingMargin {
+            bundle: bundle.label.clone(),
+            capture_data: graph.signal(cap.data).path.clone(),
+            capture_trigger: graph.signal(cap.trigger).path.clone(),
+            data_max_ps: data_max as f64 / 1000.0,
+            strobe_min_ps: strobe_min.unwrap_or(0) as f64 / 1000.0,
+            data_lead_ps: lead as f64 / 1000.0,
+            // An unreachable strobe is reported as a zero-margin
+            // defect by `check`; encode it as a hard failure here.
+            margin_ps: margin_fs.map_or(f64::NEG_INFINITY, |m| m as f64 / 1000.0),
+        });
+    }
+    out.sort_by(|a, b| {
+        a.bundle
+            .cmp(&b.bundle)
+            .then_with(|| a.capture_data.cmp(&b.capture_data))
+            .then_with(|| a.capture_trigger.cmp(&b.capture_trigger))
+    });
+    out
+}
+
+/// Runs the static-timing lint over `graph`, appending to `report`.
+pub fn check(graph: &NetGraph, report: &mut LintReport) {
+    for m in timing_margins(graph) {
+        if m.margin_ps == f64::NEG_INFINITY {
+            report.push(
+                Severity::Error,
+                PASS,
+                &m.capture_trigger,
+                format!(
+                    "capture trigger is unreachable from bundle '{}' although the data \
+                     pin is (data {:.1} ps): the strobe cannot close this capture",
+                    m.bundle, m.data_max_ps
+                ),
+            );
+        } else if m.margin_ps <= 0.0 {
+            report.push(
+                Severity::Error,
+                PASS,
+                &m.capture_data,
+                format!(
+                    "bundled-data violation against '{}': data {:.1} ps, strobe {:.1} ps \
+                     (+{:.1} ps lead) — margin {:.1} ps; the strobe can overtake its data",
+                    m.bundle, m.data_max_ps, m.strobe_min_ps, m.data_lead_ps, m.margin_ps
+                ),
+            );
+        } else {
+            report.push(
+                Severity::Info,
+                PASS,
+                &m.capture_data,
+                format!(
+                    "static bundled margin +{:.1} ps against '{}' (data {:.1} ps, strobe \
+                     {:.1} ps, lead {:.1} ps)",
+                    m.margin_ps, m.bundle, m.data_max_ps, m.strobe_min_ps, m.data_lead_ps
+                ),
+            );
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    DataMax,
+    /// Behind the launch register: a timing path has exactly ONE
+    /// launching flip-flop, and the rest of the path back to the
+    /// origin is its clock network — combinational cells only. A
+    /// second register on the way would make it a multi-cycle path
+    /// (the upstream word changing between handshakes), which the
+    /// protocol, not the matched delay, keeps safe.
+    ClockMax,
+    StrobeMin,
+}
+
+/// Which of a cell's input pins the cone continues through, and the
+/// mode the traversal continues in past that cell.
+fn pins(comp: &NetComponent, mode: Mode) -> (&[SignalId], Mode) {
+    match comp.class {
+        CellClass::Comb | CellClass::Wire | CellClass::Route => (&comp.inputs, mode),
+        CellClass::Latch => match mode {
+            Mode::DataMax => (&comp.data_pins, mode),
+            Mode::ClockMax => (&[], mode),
+            Mode::StrobeMin => (&comp.trigger_pins, mode),
+        },
+        CellClass::Dff => match mode {
+            Mode::DataMax => (&comp.trigger_pins, Mode::ClockMax),
+            Mode::ClockMax => (&[], mode),
+            Mode::StrobeMin => (&comp.trigger_pins, mode),
+        },
+        CellClass::CElement | CellClass::DavidCell => match mode {
+            Mode::DataMax | Mode::ClockMax => (&[], mode),
+            Mode::StrobeMin => (&comp.trigger_pins, mode),
+        },
+        CellClass::Source | CellClass::Env | CellClass::Monitor | CellClass::Unknown => {
+            (&[], mode)
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Memo {
+    Unvisited,
+    OnStack,
+    Done(Option<i64>),
+}
+
+struct Walker<'g> {
+    graph: &'g NetGraph,
+    origin: SignalId,
+    // One memo table per traversal mode a walk can be in (a data walk
+    // flips into clock mode behind the launch register, so the same
+    // signal can legitimately carry two different results).
+    memo: Vec<[Memo; 2]>,
+    steps: usize,
+}
+
+fn slot(mode: Mode) -> usize {
+    match mode {
+        Mode::DataMax | Mode::StrobeMin => 0,
+        Mode::ClockMax => 1,
+    }
+}
+
+/// Best (max or min, per mode) delay in femtoseconds from a
+/// transition of `origin` to `start`, traced backwards through the
+/// drivers, or `None` if no allowed path connects them.
+fn cone(graph: &NetGraph, start: SignalId, origin: SignalId, mode: Mode) -> Option<i64> {
+    let mut w = Walker {
+        graph,
+        origin,
+        memo: vec![[Memo::Unvisited; 2]; graph.signals.len()],
+        steps: 0,
+    };
+    w.visit(start, mode).0
+}
+
+impl Walker<'_> {
+    /// Returns the best delay and whether the evaluation was cut at a
+    /// signal currently on the DFS stack (in which case the result is
+    /// path-dependent and must not be memoized).
+    fn visit(&mut self, sig: SignalId, mode: Mode) -> (Option<i64>, bool) {
+        if sig == self.origin {
+            return (Some(0), false);
+        }
+        let m = slot(mode);
+        match self.memo[sig.index()][m] {
+            Memo::OnStack => return (None, true),
+            Memo::Done(v) => return (v, false),
+            Memo::Unvisited => {}
+        }
+        // Budget backstop: cones over a pathological graph give up
+        // rather than walk forever (the result is still deterministic
+        // for a given graph).
+        self.steps += 1;
+        if self.steps > 2_000_000 {
+            return (None, false);
+        }
+        self.memo[sig.index()][m] = Memo::OnStack;
+        let mut best: Option<i64> = None;
+        let mut cut = false;
+        for &driver in &self.graph.signal(sig).drivers {
+            let comp = self.graph.component(driver);
+            let delay = comp.delay.map_or(0, |d| d.as_fs() as i64);
+            let (pins, next_mode) = pins(comp, mode);
+            for &pin in pins {
+                let (sub, sub_cut) = self.visit(pin, next_mode);
+                cut |= sub_cut;
+                if let Some(d) = sub {
+                    let cand = d + delay;
+                    best = Some(match (best, mode) {
+                        (None, _) => cand,
+                        (Some(b), Mode::DataMax | Mode::ClockMax) => b.max(cand),
+                        (Some(b), Mode::StrobeMin) => b.min(cand),
+                    });
+                }
+            }
+        }
+        if cut {
+            self.memo[sig.index()][m] = Memo::Unvisited;
+        } else {
+            self.memo[sig.index()][m] = Memo::Done(best);
+        }
+        (best, cut)
+    }
+}

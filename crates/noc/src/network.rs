@@ -154,7 +154,7 @@ impl Network {
         let now = self.cycle;
 
         // 1. Channel delivery (in-order, blocked by downstream space).
-        for ((node, diri), ch) in self.channels.iter_mut() {
+        for ((node, diri), ch) in &mut self.channels {
             let from = NodeId(*node);
             let dir = Direction::ALL[*diri];
             let to = mesh.neighbor(from, dir).expect("channel to nowhere");
@@ -250,7 +250,7 @@ impl Network {
         //    credit view is refreshed from actual occupancy (simpler
         //    and equivalent to credit return signalling at this
         //    abstraction level).
-        for ((node, diri), ch) in self.channels.iter_mut() {
+        for ((node, diri), ch) in &mut self.channels {
             let from = NodeId(*node);
             let dir = Direction::ALL[*diri];
             let to = mesh.neighbor(from, dir).expect("channel to nowhere");

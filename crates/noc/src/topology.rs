@@ -78,7 +78,7 @@ impl Mesh {
     pub fn new(cols: u16, rows: u16) -> Self {
         assert!(cols >= 1 && rows >= 1, "mesh dimensions must be at least 1x1");
         assert!(
-            (cols as u32) * (rows as u32) <= u16::MAX as u32,
+            u16::try_from((cols as u32) * (rows as u32)).is_ok(),
             "mesh too large"
         );
         Mesh { cols, rows }

@@ -64,7 +64,7 @@ pub fn build_switch(
     clk: SignalId,
     rstn: SignalId,
 ) -> SwitchPorts {
-    assert!(m >= 2 * COORD_BITS + 1, "flit too narrow for routing");
+    assert!(m > 2 * COORD_BITS, "flit too narrow for routing");
     b.push_scope(name);
 
     // Pre-declared externally driven inputs.
@@ -207,13 +207,12 @@ mod tests {
         attach_sync_source(&mut sim, "src", src, Time::ZERO);
         sim.run_until(Time::from_ns(100)).unwrap();
         let mut hits = Vec::new();
-        for o in 0..5 {
+        for (o, name) in PORTS.iter().enumerate() {
             if sim.value(sw.valid_out[o]).is_high() {
                 assert_eq!(
                     sim.value(sw.flit_out[o]).to_u64(),
                     Some(word),
-                    "wrong flit on port {}",
-                    PORTS[o]
+                    "wrong flit on port {name}",
                 );
                 hits.push(o);
             }

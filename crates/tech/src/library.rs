@@ -227,12 +227,8 @@ mod tests {
 
     #[test]
     fn scale_knobs_apply() {
-        let mut lib = St012Library::default();
-        let mut base = St012Library::default();
-        base.energy_scale = 1.0;
-        base.area_scale = 1.0;
-        lib.energy_scale = 2.0;
-        lib.area_scale = 3.0;
+        let lib = St012Library { energy_scale: 2.0, area_scale: 3.0, ..Default::default() };
+        let base = St012Library { energy_scale: 1.0, area_scale: 1.0, ..Default::default() };
         let k = CellKind::Nand(2);
         assert!((lib.params(k).energy_fj - 2.0 * base.params(k).energy_fj).abs() < 1e-12);
         assert!((lib.params(k).area_um2 - 3.0 * base.params(k).area_um2).abs() < 1e-12);

@@ -48,6 +48,7 @@ pub use sal_analytic as analytic;
 pub use sal_cells as cells;
 pub use sal_des as des;
 pub use sal_link as link;
+pub use sal_lint as lint;
 pub use sal_noc as noc;
 pub use sal_switch as switch;
 pub use sal_tech as tech;

@@ -2,7 +2,9 @@
 //! the three-state logic algebra, toggle accounting, and determinism.
 
 use proptest::prelude::*;
-use sal::des::{Logic, SimConfig, Simulator, Time, Value};
+use sal::cells::CircuitBuilder;
+use sal::des::{Logic, SignalId, SimConfig, Simulator, Time, Value};
+use sal::tech::St012Library;
 
 fn arb_value(width: u8) -> impl Strategy<Value = Value> {
     (any::<u64>(), any::<u64>()).prop_map(move |(bits, x)| {
@@ -96,6 +98,95 @@ proptest! {
         let lo = v.slice(0, split);
         let hi = v.slice(split, 64 - split);
         prop_assert_eq!(lo.concat(&hi), v);
+    }
+
+    /// Lint soundness: a randomly wired gate network that passes the
+    /// connectivity pass with no errors never exposes an undriven-X
+    /// value to any reader once its ports are driven — i.e. the static
+    /// "undriven but read" check really does cover every way a
+    /// floating net can poison a simulation. The generator sometimes
+    /// injects a raw undriven signal into the pool gates draw inputs
+    /// from; when a gate happens to read it the lint must fire (and
+    /// the X-freedom claim is not asserted), and when the lint stays
+    /// silent every signal any component reads must settle to a fully
+    /// known value.
+    #[test]
+    fn connectivity_clean_netlists_never_read_x(
+        n_ports in 1usize..4,
+        gates in proptest::collection::vec((0u8..6, any::<u16>(), any::<u16>()), 1..24),
+        inject_floating in any::<bool>(),
+        port_bits in any::<u64>(),
+    ) {
+        let mut sim = Simulator::new();
+        let lib = St012Library::default();
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        b.push_scope("prop");
+
+        let mut pool: Vec<SignalId> = (0..n_ports)
+            .map(|i| b.input(&format!("p{i}"), 1))
+            .collect();
+        if inject_floating {
+            // A raw signal with no driver, deliberately bypassing the
+            // builder so nothing ever drives it.
+            pool.push(b.sim().add_signal("prop.floating", 1));
+        }
+
+        let mut read: Vec<SignalId> = Vec::new();
+        for (i, &(op, ai, bi)) in gates.iter().enumerate() {
+            let a = pool[ai as usize % pool.len()];
+            let c = pool[bi as usize % pool.len()];
+            let name = format!("g{i}");
+            let out = match op {
+                0 => b.inv(&name, a),
+                1 => b.and2(&name, a, c),
+                2 => b.or2(&name, a, c),
+                3 => b.xor2(&name, a, c),
+                4 => b.nand2(&name, a, c),
+                _ => {
+                    let d = pool[(ai as usize + bi as usize) % pool.len()];
+                    read.push(d);
+                    b.mux2(&name, a, c, d)
+                }
+            };
+            read.push(a);
+            if op != 0 {
+                read.push(c);
+            }
+            pool.push(out);
+        }
+
+        // Drive every port with a known bit before snapshotting, so
+        // the graph the lint sees is the graph the simulation runs.
+        for (i, &p) in pool.iter().take(n_ports).enumerate() {
+            let bit = port_bits >> i & 1;
+            b.sim().stimulus(p, &[(Time::ZERO, Value::from_u64(1, bit))]);
+        }
+        b.pop_scope();
+        b.finish();
+
+        let graph = sim.netgraph();
+        let mut report = sal::lint::LintReport::new();
+        sal::lint::connectivity::check(&graph, &mut report);
+        let clean = !report
+            .errors()
+            .any(|f| f.pass == sal::lint::connectivity::PASS);
+
+        sim.run_to_quiescence().unwrap();
+        if clean {
+            for &sig in &read {
+                let v = sim.value(sig);
+                prop_assert!(
+                    v.is_fully_known(),
+                    "connectivity-clean netlist read X on {}: {:?}",
+                    graph.signal(sig).path,
+                    v
+                );
+            }
+        } else if inject_floating {
+            // The only structural defect the generator can create is
+            // the floating net; an error means a gate read it.
+            prop_assert!(report.errors().any(|f| f.path.contains("floating")));
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ mod tests {
 
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = thread::scope(|s| {
             let handles: Vec<_> = data
                 .chunks(2)

@@ -283,6 +283,7 @@ mod tests {
     fn recursive_strategies_terminate() {
         #[derive(Debug, Clone)]
         enum Tree {
+            #[allow(dead_code)]
             Leaf(usize),
             Node(Box<Tree>, Box<Tree>),
         }
