@@ -1,0 +1,54 @@
+//! Chaos-soak recovery campaign: seeded glitch storms against
+//! {I2, I3} × {off, parity, crc}, classified by the data-integrity
+//! scoreboard and the recovery counters. Prints the campaign table
+//! and the protection energy tax, and writes the machine-readable
+//! `BENCH_recovery.json` (bytewise deterministic — CI diffs it
+//! against a committed fixture).
+
+use sal_bench::recovery::{campaign, tally, to_json, KINDS, MODES, STORM_SEEDS};
+
+fn main() {
+    let report = campaign();
+
+    println!("== recovery campaign: {} storm seeds per cell ==", STORM_SEEDS.len());
+    println!("{:<6} {:<8} {:>9} {:>9} {:>10} {:>9} {:>6}", "link", "protect", "recovered", "untouched", "undetected", "deadlock", "error");
+    for kind in KINDS {
+        for protection in MODES {
+            println!(
+                "{:<6} {:<8} {:>9} {:>9} {:>10} {:>9} {:>6}",
+                kind.label(),
+                protection.label(),
+                tally(&report.cells, kind, protection, "recovered"),
+                tally(&report.cells, kind, protection, "untouched"),
+                tally(&report.cells, kind, protection, "undetected"),
+                tally(&report.cells, kind, protection, "deadlock"),
+                tally(&report.cells, kind, protection, "error"),
+            );
+        }
+    }
+
+    println!("\n== protection energy tax (clean run) ==");
+    for e in &report.energy {
+        println!(
+            "{:<6} {:<8} {:>9.1} µW  (+{:.2}%)",
+            e.kind.label(),
+            e.protection.label(),
+            e.total_uw,
+            e.overhead_pct
+        );
+    }
+
+    for cell in report.cells.iter().filter(|c| c.shrunk.is_some()) {
+        println!(
+            "\nSHRUNK REPRO for failing {} / {} / seed {}: {:?}",
+            cell.kind.label(),
+            cell.protection.label(),
+            cell.seed,
+            cell.shrunk.as_ref().unwrap()
+        );
+    }
+
+    let json = to_json(&report);
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("\nwrote BENCH_recovery.json ({} bytes)", json.len());
+}

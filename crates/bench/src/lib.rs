@@ -25,6 +25,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod recovery;
 pub mod robustness;
 pub mod sweep;
 pub mod table;

@@ -137,10 +137,7 @@ impl<'a> CircuitBuilder<'a> {
     /// Folds a driver-connection result into the poison state.
     fn check_driver(&mut self, cell: &str, result: SimResult<()>) {
         if let Err(e) = result {
-            self.record_error(BuildError::AlreadyDriven {
-                cell: cell.to_string(),
-                detail: e.to_string(),
-            });
+            self.record_error(BuildError::AlreadyDriven { cell: cell.to_string(), source: e });
         }
     }
 
@@ -715,6 +712,82 @@ impl<'a> CircuitBuilder<'a> {
         s
     }
 
+    /// A balanced tree of 2-input XOR cells reducing `bits` to their
+    /// parity (high iff an odd number of inputs are high). This is the
+    /// parity/CRC generator-and-checker primitive of the link
+    /// protection layer: built from real `Xor2` cells so the reduction
+    /// carries area, delay and switching energy. A single input is
+    /// returned unchanged; an empty list is a [`BuildError`].
+    pub fn xor_tree(&mut self, name: &str, bits: &[SignalId]) -> SignalId {
+        self.reduce_tree(name, bits, |b, n, x, y| b.xor2(n, x, y))
+    }
+
+    /// A balanced tree of 2-input OR cells reducing `bits` to their
+    /// disjunction (the error-flag aggregator of the protection
+    /// checker). A single input is returned unchanged; an empty list
+    /// is a [`BuildError`].
+    pub fn or_tree(&mut self, name: &str, bits: &[SignalId]) -> SignalId {
+        self.reduce_tree(name, bits, |b, n, x, y| b.or2(n, x, y))
+    }
+
+    fn reduce_tree(
+        &mut self,
+        name: &str,
+        bits: &[SignalId],
+        mut op: impl FnMut(&mut Self, &str, SignalId, SignalId) -> SignalId,
+    ) -> SignalId {
+        if bits.is_empty() {
+            self.record_error(BuildError::EmptyInputs { cell: name.to_string() });
+            return self.placeholder(name, 1);
+        }
+        let mut level: Vec<SignalId> = bits.to_vec();
+        let mut depth = 0usize;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for (i, pair) in level.chunks(2).enumerate() {
+                next.push(if pair.len() == 2 {
+                    op(self, &format!("{name}_l{depth}_{i}"), pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            level = next;
+            depth += 1;
+        }
+        level[0]
+    }
+
+    /// An `n`-stage asynchronous ripple counter built from toggle
+    /// flip-flops: stage 0 toggles on each rising `clk` edge and each
+    /// later stage is clocked by the previous stage's inverted output,
+    /// so tap `i` first rises after `2^i` rising `clk` edges and the
+    /// interval doubles per tap. Clocked by a gated ring oscillator
+    /// this is a *counter-gated delay chain* — the exponential-backoff
+    /// timeout element of the link recovery layer. All stages clear
+    /// asynchronously while `rstn` is low. Returns the `n` tap
+    /// outputs (`taps[0]` is the fastest).
+    pub fn ripple_counter(
+        &mut self,
+        name: &str,
+        clk: SignalId,
+        rstn: Option<SignalId>,
+        n: usize,
+    ) -> Vec<SignalId> {
+        if !self.param_ok(n >= 1, name, "ripple counter needs at least one stage") {
+            return Vec::new();
+        }
+        let mut taps = Vec::with_capacity(n);
+        let mut stage_clk = clk;
+        for i in 0..n {
+            let q = self.sim.add_signal(&format!("{name}_q{i}"), 1);
+            let nq = self.inv(&format!("{name}_n{i}"), q);
+            self.dff_into(&format!("{name}_q{i}"), q, nq, stage_clk, rstn);
+            taps.push(q);
+            stage_clk = nq;
+        }
+        taps
+    }
+
     /// A self-starting one-hot ring counter: `n` flip-flops clocked by
     /// `clk`, exactly one token output high after reset (token 0),
     /// advancing one position per rising clock edge.
@@ -1009,6 +1082,61 @@ mod tests {
         assert!(sim.value(taps[2]).is_high());
         sim.run_until(Time::from_ns(4)).unwrap();
         assert!(sim.value(taps[2]).is_low());
+    }
+
+    #[test]
+    fn xor_tree_computes_parity() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let bus = b.input("bus", 8);
+        let bits: Vec<SignalId> =
+            (0..8u8).map(|i| b.slice(&format!("b{i}"), bus, i, 1)).collect();
+        let parity = b.xor_tree("par", &bits);
+        let any = b.or_tree("any", &bits);
+        b.finish();
+        let patterns = [0x00u64, 0x01, 0xA5, 0xFF, 0x80, 0x7E];
+        let sched: Vec<(Time, Value)> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (Time::from_ns(i as u64), Value::from_u64(8, p)))
+            .collect();
+        sim.stimulus(bus, &sched);
+        for (i, &pattern) in patterns.iter().enumerate() {
+            sim.run_until(Time::from_ns(i as u64) + Time::from_ps(900)).unwrap();
+            let expect = u64::from(pattern.count_ones() % 2 == 1);
+            assert_eq!(sim.value(parity).to_u64(), Some(expect), "pattern {pattern:#x}");
+            assert_eq!(sim.value(any).to_u64(), Some(u64::from(pattern != 0)));
+        }
+    }
+
+    #[test]
+    fn ripple_counter_taps_double_per_stage() {
+        let mut sim = Simulator::new();
+        let lib = UnitLibrary;
+        let mut b = CircuitBuilder::new(&mut sim, &lib);
+        let rstn = b.input("rstn", 1);
+        let clk = b.clock("clk", Time::from_ns(1));
+        let taps = b.ripple_counter("cnt", clk, Some(rstn), 4);
+        b.finish();
+        sim.stimulus(rstn, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))]);
+        // Rising clock edges at 0.5, 1.5, 2.5 … ns; tap i first rises
+        // after 2^i edges. Running to `n` ns covers exactly `n` edges
+        // plus settle time.
+        let first_high = |sim: &mut Simulator, tap: SignalId| -> u64 {
+            let mut edges = 0u64;
+            while sim.value(tap).is_low() {
+                edges += 1;
+                assert!(edges <= 16, "tap never rose");
+                sim.run_until(Time::from_ns(edges)).unwrap();
+            }
+            edges
+        };
+        // Settle the async reset so taps read 0 (not X) before edge 1.
+        sim.run_until(Time::from_ps(200)).unwrap();
+        for (i, &tap) in taps.iter().enumerate() {
+            assert_eq!(first_high(&mut sim, tap), 1 << i, "tap {i}");
+        }
     }
 
     #[test]

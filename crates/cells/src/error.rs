@@ -18,8 +18,10 @@ pub enum BuildError {
     AlreadyDriven {
         /// Name of the cell whose connection failed.
         cell: String,
-        /// The kernel's description of the conflict.
-        detail: String,
+        /// The kernel error describing the conflict (exposed through
+        /// [`std::error::Error::source`] so callers can walk the
+        /// chain instead of parsing Display strings).
+        source: sal_des::SimError,
     },
     /// Two ports that must share a width do not.
     WidthMismatch {
@@ -54,8 +56,8 @@ pub enum BuildError {
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::AlreadyDriven { cell, detail } => {
-                write!(f, "cell '{cell}': output already driven ({detail})")
+            BuildError::AlreadyDriven { cell, source } => {
+                write!(f, "cell '{cell}': output already driven ({source})")
             }
             BuildError::WidthMismatch { cell, expected, actual } => {
                 write!(f, "cell '{cell}': width mismatch (expected {expected}, got {actual})")
@@ -71,15 +73,35 @@ impl fmt::Display for BuildError {
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::AlreadyDriven { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A genuine driver conflict, produced through the builder (the
+    /// kernel's id constructors are private).
+    fn driven_conflict() -> BuildError {
+        let mut sim = sal_des::Simulator::new();
+        let lib = crate::kind::UnitLibrary;
+        let mut b = crate::CircuitBuilder::new(&mut sim, &lib);
+        let a = b.input("a", 1);
+        let out = b.input("out", 1);
+        b.buf_into("buf0", out, a);
+        b.buf_into("buf0", out, a);
+        b.take_error().expect("double drive must be recorded")
+    }
+
     #[test]
     fn messages_name_the_cell() {
-        let e = BuildError::AlreadyDriven { cell: "buf0".into(), detail: "x".into() };
+        let e = driven_conflict();
         assert!(e.to_string().contains("buf0"));
         let e = BuildError::WidthMismatch { cell: "mux".into(), expected: 8, actual: 4 };
         assert!(e.to_string().contains("expected 8"));
@@ -89,5 +111,17 @@ mod tests {
         assert!(e.to_string().contains("n must be >= 2"));
         let e = BuildError::Config { message: "flit width 0".into() };
         assert!(e.to_string().contains("flit width 0"));
+    }
+
+    #[test]
+    fn already_driven_exposes_the_kernel_error_as_source() {
+        use std::error::Error as _;
+        let e = driven_conflict();
+        assert!(matches!(e, BuildError::AlreadyDriven { .. }));
+        let src = e.source().expect("AlreadyDriven chains to the kernel error");
+        assert!(src.downcast_ref::<sal_des::SimError>().is_some());
+        assert!(src.source().is_none(), "SimError is the end of the chain");
+        let e = BuildError::EmptyInputs { cell: "or_tree".into() };
+        assert!(e.source().is_none());
     }
 }

@@ -196,7 +196,9 @@ pub struct NetCapture {
     pub trigger: SignalId,
 }
 
-/// A registered four-phase req/ack pair (from `watch_handshake`).
+/// A registered four-phase req/ack pair (from `watch_handshake`),
+/// optionally extended to a req/nack/ack triple (from
+/// `watch_handshake_nack`) on protected links.
 #[derive(Debug, Clone)]
 pub struct NetWatch {
     /// The label the pair was registered under.
@@ -205,6 +207,9 @@ pub struct NetWatch {
     pub req: SignalId,
     /// Acknowledge signal.
     pub ack: SignalId,
+    /// Negative-acknowledge signal that can answer the same request
+    /// (retransmission demand), when one was registered.
+    pub nack: Option<SignalId>,
 }
 
 /// An immutable snapshot of the netlist's static structure, produced

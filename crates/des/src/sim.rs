@@ -138,6 +138,21 @@ impl Simulator {
         Self::with_config(SimConfig::default())
     }
 
+    /// Replaces the runaway-event budget after construction. The
+    /// budget is the quiescence watchdog's horizon: exceeding it trips
+    /// [`SimError::EventLimitExceeded`] with a deadlock diagnosis.
+    /// Chaos campaigns whose retransmission backoff legitimately burns
+    /// many events per delivered word raise it; unit tests hunting an
+    /// oscillation lower it.
+    pub fn set_max_events(&mut self, limit: u64) {
+        self.config.max_events = limit;
+    }
+
+    /// The configured runaway-event budget.
+    pub fn max_events(&self) -> u64 {
+        self.config.max_events
+    }
+
     /// Creates an empty simulator with the given configuration.
     pub fn with_config(config: SimConfig) -> Self {
         let trace: Option<Box<dyn TraceSink>> =
@@ -491,7 +506,7 @@ impl Simulator {
             watches: self
                 .watches
                 .iter()
-                .map(|w| NetWatch { label: w.label.clone(), req: w.req, ack: w.ack })
+                .map(|w| NetWatch { label: w.label.clone(), req: w.req, ack: w.ack, nack: w.nack })
                 .collect(),
         }
     }
@@ -830,7 +845,23 @@ impl Simulator {
     /// level; [`Simulator::deadlock_report`] flags registered pairs
     /// whose levels disagree.
     pub fn watch_handshake(&mut self, label: &str, req: SignalId, ack: SignalId) {
-        self.watches.push(HandshakeWatch { label: label.to_string(), req, ack });
+        self.watches.push(HandshakeWatch { label: label.to_string(), req, ack, nack: None });
+    }
+
+    /// Registers a req/ack pair whose request can also be answered by
+    /// a negative acknowledge (`nack`), as in a protected link where a
+    /// failed integrity check demands a retransmission instead of the
+    /// word acknowledge. The triple is carried into the
+    /// [`crate::NetGraph`] snapshot so static analysis can check that
+    /// the NACK wire genuinely answers the request.
+    pub fn watch_handshake_nack(
+        &mut self,
+        label: &str,
+        req: SignalId,
+        ack: SignalId,
+        nack: SignalId,
+    ) {
+        self.watches.push(HandshakeWatch { label: label.to_string(), req, ack, nack: Some(nack) });
     }
 
     /// Number of handshake pairs registered for diagnosis.

@@ -5,11 +5,13 @@
 use sal_cells::{BuildError, CircuitBuilder};
 use sal_des::{SignalId, Time};
 
+use crate::protect::{build_checker, build_protector};
+use crate::retry::{build_retry, RetryPorts};
 use crate::{
     build_as_interface, build_deserializer, build_sa_interface, build_serializer,
     build_sync_pipeline, build_wire_buffer, build_word_deserializer,
     build_word_deserializer_demux, build_word_deserializer_early, build_word_serializer,
-    LinkConfig, WordRxStyle,
+    LinkConfig, ProtectionMode, RecoverySignals, WordRxStyle,
 };
 
 /// Which of the paper's three implementations a handle refers to.
@@ -72,6 +74,10 @@ pub struct LinkHandles {
     pub clock_sinks: Vec<(String, u32)>,
     /// Estimated clock distribution length, µm.
     pub clock_tree_um: f64,
+    /// Observability taps into the protection/recovery layer — `None`
+    /// for I1 and whenever [`LinkConfig::protection`] is off (the
+    /// layer is not built at all).
+    pub recovery: Option<RecoverySignals>,
 }
 
 fn seg_params(b: &CircuitBuilder<'_>, cfg: &LinkConfig) -> (Time, f64) {
@@ -129,6 +135,7 @@ pub(crate) fn build_i1(
         scope: name.to_string(),
         clock_sinks: vec![(format!("{name}.buffers"), ports.clocked_bits)],
         clock_tree_um: cfg.length_um,
+        recovery: None,
     })
 }
 
@@ -147,6 +154,11 @@ pub(crate) fn build_i2(
 ) -> Result<LinkHandles, BuildError> {
     check_cfg(cfg)?;
     let (seg_delay, seg_energy_per_um_bit) = seg_params(b, cfg);
+    // The serializer core is protection-agnostic: it carries whatever
+    // word/slice widths the (possibly widened) inner config names.
+    // With protection off `icfg` equals `cfg` and no extra cell or
+    // signal is built, keeping the netlist bit-identical to the seed.
+    let icfg = cfg.inner();
     let clk = b.clock(&format!("{name}_clk"), cfg.clk_period);
     let rstn = b.input(&format!("{name}_rstn"), 1);
     b.push_scope(name);
@@ -161,23 +173,68 @@ pub(crate) fn build_i2(
 
     let tx = build_sa_interface(b, "tx_if", cfg, clk, rstn, flit_in, valid_in, ack_word_tx);
 
+    // Protection/recovery wraps the core between the interfaces: the
+    // retry controller gates the word request, the generator widens
+    // the word, and the core's reset is gated so a watchdog resync
+    // can drain it.
+    let mut recovery: Option<RetryPorts> = None;
+    let mut nack_heard = None;
+    let mut ack_core = None;
+    let mut core_rstn = rstn;
+    let (ser_din, ser_req) = if cfg.protection == ProtectionMode::Off {
+        (tx.dout, tx.reqout)
+    } else {
+        let nh = b.input("nack_heard", 1);
+        let ac = b.input("ack_core", 1);
+        let rt = build_retry(b, "retry", cfg, tx.reqout, ac, nh, rstn, false);
+        let (pdata, preq) = build_protector(b, "prot", cfg, tx.dout, rt.req_down);
+        b.buf_into("ack_word_tx_drv", ack_word_tx, rt.ack_up);
+        let rs_n = b.inv("resync_n", rt.resync);
+        core_rstn = b.and2("core_rstn", rstn, rs_n);
+        recovery = Some(rt);
+        nack_heard = Some(nh);
+        ack_core = Some(ac);
+        (pdata, preq)
+    };
+
     // Slice-level acknowledge each stage listens to: acks_in[k] is
     // heard by stage k-1 (acks_in[0] by the serializer).
     let nstations = cfg.buffers as usize;
     let acks_in: Vec<SignalId> =
         (0..=nstations).map(|k| b.input(&format!("ack_in{k}"), 1)).collect();
 
-    let ser = build_serializer(b, "ser", cfg, tx.dout, tx.reqout, acks_in[0], rstn);
-    b.buf_into("ack_word_tx_drv", ack_word_tx, ser.ackout);
-    b.sim().watch_handshake(&format!("{name}.tx_if word"), tx.reqout, ack_word_tx);
+    let ser = build_serializer(b, "ser", &icfg, ser_din, ser_req, acks_in[0], core_rstn);
+    match ack_core {
+        Some(ac) => b.buf_into("ack_core_drv", ac, ser.ackout),
+        None => b.buf_into("ack_word_tx_drv", ack_word_tx, ser.ackout),
+    }
+    match nack_heard {
+        Some(nh) => {
+            b.sim().watch_handshake_nack(&format!("{name}.tx_if word"), tx.reqout, ack_word_tx, nh);
+        }
+        None => b.sim().watch_handshake(&format!("{name}.tx_if word"), tx.reqout, ack_word_tx),
+    }
     b.sim().watch_handshake(&format!("{name}.ser slice"), ser.reqout, acks_in[0]);
 
     // Wire with buffers: segment → buffer → segment → … → segment.
+    // With protection, the resync drain travels a dedicated forward
+    // wire so every station's reset is gated by the locally heard
+    // pulse.
     b.push_scope("wire");
+    let mut rs = recovery
+        .as_ref()
+        .map(|rt| b.transport("seg_rs0", rt.resync, seg_delay, seg_energy_per_um_bit));
     let mut d = b.transport("seg_d0", ser.dout, seg_delay, seg_energy_per_um_bit);
     let mut r = b.transport("seg_r0", ser.reqout, seg_delay, seg_energy_per_um_bit);
     for k in 0..nstations {
-        let ports = build_wire_buffer(b, &format!("buf{k}"), d, r, acks_in[k + 1], rstn);
+        let buf_rstn = match rs {
+            Some(rs_here) => {
+                let n = b.inv(&format!("rs_n{k}"), rs_here);
+                b.and2(&format!("buf{k}_rstn"), rstn, n)
+            }
+            None => rstn,
+        };
+        let ports = build_wire_buffer(b, &format!("buf{k}"), d, r, acks_in[k + 1], buf_rstn);
         // Watch the stage boundary as the *upstream* side experiences
         // it: its transported request against the transported
         // acknowledge it listens to. A fault anywhere along the return
@@ -193,10 +250,27 @@ pub(crate) fn build_i2(
         );
         d = b.transport(&format!("seg_d{}", k + 1), ports.dout, seg_delay, seg_energy_per_um_bit);
         r = b.transport(&format!("seg_r{}", k + 1), ports.reqout, seg_delay, seg_energy_per_um_bit);
+        rs = rs.map(|rs_here| {
+            b.transport(&format!("seg_rs{}", k + 1), rs_here, seg_delay, seg_energy_per_um_bit)
+        });
     }
     b.pop_scope();
 
-    let des = build_deserializer(b, "des", cfg, d, r, ack_word_rx, rstn);
+    // Receive-side core reset: gated by the resync pulse as it
+    // arrives over the wire.
+    let rx_rstn = match rs {
+        Some(rs_rx) => {
+            let n = b.inv("rs_rx_n", rs_rx);
+            b.and2("rx_core_rstn", rstn, n)
+        }
+        None => rstn,
+    };
+    let des_ack = if cfg.protection == ProtectionMode::Off {
+        ack_word_rx
+    } else {
+        b.input("des_ack", 1)
+    };
+    let des = build_deserializer(b, "des", &icfg, d, r, des_ack, rx_rstn);
     b.transport_into(
         &format!("seg_a{nstations}"),
         acks_in[nstations],
@@ -205,10 +279,42 @@ pub(crate) fn build_i2(
         seg_energy_per_um_bit,
     );
 
-    let rx = build_as_interface(b, "rx_if", cfg, clk, rstn, des.dout, des.reqout, stall_in);
+    // The checker verifies every word, self-acknowledges corrupted
+    // ones and launches the NACK back over its own wire.
+    let chk = if cfg.protection == ProtectionMode::Off {
+        None
+    } else {
+        let chk = build_checker(b, "chk", cfg, des.dout, des.reqout, ack_word_rx, rx_rstn);
+        b.buf_into("des_ack_drv", des_ack, chk.ack_down);
+        b.push_scope("wire");
+        let mut nw = chk.nack;
+        for k in 0..nstations {
+            nw = b.transport(&format!("seg_n{k}"), nw, seg_delay, seg_energy_per_um_bit);
+        }
+        b.transport_into(
+            "seg_n_last",
+            nack_heard.expect("protected build declared the NACK wire"),
+            nw,
+            seg_delay,
+            seg_energy_per_um_bit,
+        );
+        b.pop_scope();
+        Some(chk)
+    };
+    let (rx_din, rx_req) = match &chk {
+        Some(c) => (c.dout, c.reqout),
+        None => (des.dout, des.reqout),
+    };
+
+    let rx = build_as_interface(b, "rx_if", cfg, clk, rstn, rx_din, rx_req, stall_in);
     b.buf_into("ack_word_rx_drv", ack_word_rx, rx.ackout);
     b.sim().watch_handshake(&format!("{name}.des slice"), r, acks_in[nstations]);
-    b.sim().watch_handshake(&format!("{name}.des word"), des.reqout, ack_word_rx);
+    match &chk {
+        Some(c) => {
+            b.sim().watch_handshake_nack(&format!("{name}.des word"), c.reqout, ack_word_rx, c.nack);
+        }
+        None => b.sim().watch_handshake(&format!("{name}.des word"), des.reqout, ack_word_rx),
+    }
 
     b.pop_scope();
     if let Some(e) = b.take_error() {
@@ -232,6 +338,7 @@ pub(crate) fn build_i2(
         // The interfaces sit at the switches; only a short local clock
         // stub is needed (no clocked elements along the wire).
         clock_tree_um: 200.0,
+        recovery: recovery.map(|rt| rt.signals),
     })
 }
 
@@ -250,6 +357,7 @@ pub(crate) fn build_i3(
 ) -> Result<LinkHandles, BuildError> {
     check_cfg(cfg)?;
     let (seg_delay, seg_energy) = seg_params(b, cfg);
+    let icfg = cfg.inner();
     let clk = b.clock(&format!("{name}_clk"), cfg.clk_period);
     let rstn = b.input(&format!("{name}_rstn"), 1);
     b.push_scope(name);
@@ -264,13 +372,48 @@ pub(crate) fn build_i3(
     let ack_back_heard = b.input("ack_back_heard", 1);
 
     let tx = build_sa_interface(b, "tx_if", cfg, clk, rstn, flit_in, valid_in, ack_word_tx);
-    let ser = build_word_serializer(b, "ser", cfg, tx.dout, tx.reqout, ack_back_heard, rstn);
-    b.buf_into("ack_word_tx_drv", ack_word_tx, ser.ackout);
-    b.sim().watch_handshake(&format!("{name}.tx_if word"), tx.reqout, ack_word_tx);
 
-    // Forward wire: data + valid through inverter-pair stations.
+    // Protection/recovery wrap (see `build_i2`); the I3 controller
+    // additionally degrades to per-transfer-ack pacing after a
+    // resync.
+    let mut recovery: Option<RetryPorts> = None;
+    let mut nack_heard = None;
+    let mut ack_core = None;
+    let mut core_rstn = rstn;
+    let (ser_din, ser_req) = if cfg.protection == ProtectionMode::Off {
+        (tx.dout, tx.reqout)
+    } else {
+        let nh = b.input("nack_heard", 1);
+        let ac = b.input("ack_core", 1);
+        let rt = build_retry(b, "retry", cfg, tx.reqout, ac, nh, rstn, true);
+        let (pdata, preq) = build_protector(b, "prot", cfg, tx.dout, rt.req_down);
+        b.buf_into("ack_word_tx_drv", ack_word_tx, rt.ack_up);
+        let rs_n = b.inv("resync_n", rt.resync);
+        core_rstn = b.and2("core_rstn", rstn, rs_n);
+        recovery = Some(rt);
+        nack_heard = Some(nh);
+        ack_core = Some(ac);
+        (pdata, preq)
+    };
+
+    let ser = build_word_serializer(b, "ser", &icfg, ser_din, ser_req, ack_back_heard, core_rstn);
+    match ack_core {
+        Some(ac) => b.buf_into("ack_core_drv", ac, ser.ackout),
+        None => b.buf_into("ack_word_tx_drv", ack_word_tx, ser.ackout),
+    }
+    match nack_heard {
+        Some(nh) => {
+            b.sim().watch_handshake_nack(&format!("{name}.tx_if word"), tx.reqout, ack_word_tx, nh);
+        }
+        None => b.sim().watch_handshake(&format!("{name}.tx_if word"), tx.reqout, ack_word_tx),
+    }
+
+    // Forward wire: data + valid (and the resync drain, when
+    // protected) through inverter-pair stations.
     b.push_scope("wire");
     let nstations = cfg.buffers as usize;
+    let mut rs =
+        recovery.as_ref().map(|rt| b.transport("seg_rs0", rt.resync, seg_delay, seg_energy));
     let mut d = b.transport("seg_d0", ser.dout, seg_delay, seg_energy);
     let mut v = b.transport("seg_v0", ser.valid, seg_delay, seg_energy);
     for k in 0..nstations {
@@ -280,16 +423,33 @@ pub(crate) fn build_i3(
         let v2 = b.inv(&format!("rep_v{k}b"), v1);
         d = b.transport(&format!("seg_d{}", k + 1), d2, seg_delay, seg_energy);
         v = b.transport(&format!("seg_v{}", k + 1), v2, seg_delay, seg_energy);
+        rs = rs.map(|rs_here| {
+            let r1 = b.inv(&format!("rep_rs{k}a"), rs_here);
+            let r2 = b.inv(&format!("rep_rs{k}b"), r1);
+            b.transport(&format!("seg_rs{}", k + 1), r2, seg_delay, seg_energy)
+        });
     }
     b.pop_scope();
 
+    let rx_rstn = match rs {
+        Some(rs_rx) => {
+            let n = b.inv("rs_rx_n", rs_rx);
+            b.and2("rx_core_rstn", rstn, n)
+        }
+        None => rstn,
+    };
+    let des_ack = if cfg.protection == ProtectionMode::Off {
+        ack_word_rx
+    } else {
+        b.input("des_ack", 1)
+    };
     let des = match (cfg.early_word_ack, cfg.word_rx_style) {
-        (true, _) => build_word_deserializer_early(b, "des", cfg, d, v, ack_word_rx, rstn),
+        (true, _) => build_word_deserializer_early(b, "des", &icfg, d, v, des_ack, rx_rstn),
         (false, WordRxStyle::ShiftRegister) => {
-            build_word_deserializer(b, "des", cfg, d, v, ack_word_rx, rstn)
+            build_word_deserializer(b, "des", &icfg, d, v, des_ack, rx_rstn)
         }
         (false, WordRxStyle::Demux) => {
-            build_word_deserializer_demux(b, "des", cfg, d, v, ack_word_rx, rstn)
+            build_word_deserializer_demux(b, "des", &icfg, d, v, des_ack, rx_rstn)
         }
     };
 
@@ -308,9 +468,47 @@ pub(crate) fn build_i3(
     b.transport_into("seg_ab_last", ack_back_heard, ab, seg_delay, seg_energy);
     b.pop_scope();
 
-    let rx = build_as_interface(b, "rx_if", cfg, clk, rstn, des.dout, des.reqout, stall_in);
+    // The checker and its backward NACK wire (repeated like the
+    // acknowledge).
+    let chk = if cfg.protection == ProtectionMode::Off {
+        None
+    } else {
+        let chk = build_checker(b, "chk", cfg, des.dout, des.reqout, ack_word_rx, rx_rstn);
+        b.buf_into("des_ack_drv", des_ack, chk.ack_down);
+        b.push_scope("wire");
+        let mut nw = b.transport("seg_n0", chk.nack, seg_delay, seg_energy);
+        for k in 0..nstations {
+            let n1 = b.inv(&format!("rep_n{k}a"), nw);
+            let n2 = b.inv(&format!("rep_n{k}b"), n1);
+            nw = if k + 1 < nstations {
+                b.transport(&format!("seg_n{}", k + 1), n2, seg_delay, seg_energy)
+            } else {
+                n2
+            };
+        }
+        b.transport_into(
+            "seg_n_last",
+            nack_heard.expect("protected build declared the NACK wire"),
+            nw,
+            seg_delay,
+            seg_energy,
+        );
+        b.pop_scope();
+        Some(chk)
+    };
+    let (rx_din, rx_req) = match &chk {
+        Some(c) => (c.dout, c.reqout),
+        None => (des.dout, des.reqout),
+    };
+
+    let rx = build_as_interface(b, "rx_if", cfg, clk, rstn, rx_din, rx_req, stall_in);
     b.buf_into("ack_word_rx_drv", ack_word_rx, rx.ackout);
-    b.sim().watch_handshake(&format!("{name}.des word"), des.reqout, ack_word_rx);
+    match &chk {
+        Some(c) => {
+            b.sim().watch_handshake_nack(&format!("{name}.des word"), c.reqout, ack_word_rx, c.nack);
+        }
+        None => b.sim().watch_handshake(&format!("{name}.des word"), des.reqout, ack_word_rx),
+    }
 
     b.pop_scope();
     if let Some(e) = b.take_error() {
@@ -332,6 +530,7 @@ pub(crate) fn build_i3(
             (format!("{name}.rx_if"), rx.clocked_bits),
         ],
         clock_tree_um: 200.0,
+        recovery: recovery.map(|rt| rt.signals),
     })
 }
 
@@ -426,6 +625,27 @@ mod tests {
                     words,
                     "{} with {buffers} buffers corrupted data",
                     kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn protected_links_transfer_cleanly() {
+        use crate::ProtectionMode;
+        for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+            for protection in [ProtectionMode::Parity, ProtectionMode::Crc8] {
+                let cfg = LinkConfig { protection, ..LinkConfig::default() };
+                let words = worst_case_pattern(4, 32);
+                let r = run(kind, &cfg, &words, &MeasureOptions::default()).unwrap_or_else(|e| {
+                    panic!("{} with {} protection failed: {e}", kind.label(), protection.label())
+                });
+                assert_eq!(
+                    r.received_words(),
+                    words,
+                    "{} with {} protection corrupted data",
+                    kind.label(),
+                    protection.label()
                 );
             }
         }

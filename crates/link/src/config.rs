@@ -47,6 +47,55 @@ pub struct LinkConfig {
     /// behind the paper's Fig 14 discussion of shift-register vs
     /// de-multiplexer deserializers).
     pub word_rx_style: WordRxStyle,
+    /// Error detection over the serialized wire ([`ProtectionMode::Off`]
+    /// by default). When enabled, the link widens its internal word
+    /// with check bits, the receiver verifies every word and answers a
+    /// corrupted one with a NACK, and the transmitter retransmits from
+    /// the interface FIFO (which doubles as the replay register).
+    pub protection: ProtectionMode,
+    /// Bounded retransmission: after this many consecutive failures of
+    /// the same word the transmitter gives up, completes the upstream
+    /// handshake and lets the scoreboard account the word as lost —
+    /// never silently corrupt. Must be ≥ `resync_retries`.
+    pub max_retries: u8,
+    /// Consecutive failures of the same word after which the
+    /// transmitter executes a watchdog-triggered resync (a four-phase
+    /// return-to-zero drain of every David-cell stage along the link)
+    /// and, for I3, permanently degrades to per-transfer-ack pacing.
+    pub resync_retries: u8,
+    /// Base tap of the retransmission-timeout ripple counter, clocked
+    /// by a dedicated gated ring oscillator: the first timeout fires
+    /// after `2^timeout_tap` oscillator periods and each consecutive
+    /// retry selects the next tap, doubling the horizon (exponential
+    /// backoff from a counter-gated delay chain, not wall time).
+    pub timeout_tap: u8,
+}
+
+/// Error-detection scheme layered over the serialized wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ProtectionMode {
+    /// No protection: the seed datapath, bit-identical netlist (the
+    /// generator/checker/retry blocks are not built at all).
+    Off,
+    /// One parity bit per slice, carried on a widened slice (`n+1`
+    /// wires): detects any odd number of flipped bits within a slice.
+    Parity,
+    /// CRC-8 (polynomial `x^8+x^2+x+1`, 0x07) over the word, appended
+    /// as a trailing check byte serialized like data: detects all
+    /// burst errors up to 8 bits and any odd number of bit flips.
+    Crc8,
+}
+
+impl ProtectionMode {
+    /// Short lowercase label (`"off"`, `"parity"`, `"crc"`) used in
+    /// benchmark tables and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtectionMode::Off => "off",
+            ProtectionMode::Parity => "parity",
+            ProtectionMode::Crc8 => "crc",
+        }
+    }
 }
 
 /// Word-level (I3) receiver datapath style.
@@ -72,6 +121,10 @@ impl Default for LinkConfig {
             osc_stages: 13,
             early_word_ack: false,
             word_rx_style: WordRxStyle::ShiftRegister,
+            protection: ProtectionMode::Off,
+            max_retries: 6,
+            resync_retries: 2,
+            timeout_tap: 6,
         }
     }
 }
@@ -130,6 +183,34 @@ pub enum ConfigError {
         /// The rejected usage factor.
         usage: f64,
     },
+    /// The word widened by check bits exceeds the 64-bit datapath.
+    ProtectionTooWide {
+        /// The protected width (`flit_width` + check bits).
+        width: u32,
+    },
+    /// CRC-8 protection needs the slice width to divide the widened
+    /// word (`flit_width + 8`), i.e. to divide 8.
+    CrcSliceMismatch {
+        /// The rejected slice width.
+        slice: u8,
+        /// The protected word width it must divide.
+        protected: u8,
+    },
+    /// Protection combined with `early_word_ack`: the early ack
+    /// completes the word handshake at last-slice arrival, *before*
+    /// the checker can veto the word — detection would come too late
+    /// to NACK, so the combination is rejected outright.
+    ProtectionWithEarlyAck,
+    /// Retry policy out of range: `resync_retries` must be in
+    /// `1..=max_retries` and `timeout_tap` in `1..=20`.
+    BadRetryPolicy {
+        /// Configured give-up bound.
+        max_retries: u8,
+        /// Configured resync threshold.
+        resync_retries: u8,
+        /// Configured base timeout tap.
+        timeout_tap: u8,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -158,6 +239,31 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::UsageOutOfRange { usage } => {
                 write!(f, "usage must be in (0, 1] (got {usage})")
+            }
+            ConfigError::ProtectionTooWide { width } => {
+                write!(f, "protected word width must be <= 64 (got {width})")
+            }
+            ConfigError::CrcSliceMismatch { slice, protected } => {
+                write!(
+                    f,
+                    "CRC-8 protection needs the slice width to divide the widened word \
+                     ({slice} does not divide {protected})"
+                )
+            }
+            ConfigError::ProtectionWithEarlyAck => {
+                write!(
+                    f,
+                    "protection is incompatible with early_word_ack (the early ack completes \
+                     the handshake before the word is checked)"
+                )
+            }
+            ConfigError::BadRetryPolicy { max_retries, resync_retries, timeout_tap } => {
+                write!(
+                    f,
+                    "retry policy out of range (max_retries {max_retries}, resync_retries \
+                     {resync_retries}, timeout_tap {timeout_tap}): need 1 <= resync_retries \
+                     <= max_retries and 1 <= timeout_tap <= 20"
+                )
             }
         }
     }
@@ -205,6 +311,32 @@ impl LinkConfig {
         if self.length_um < 0.0 {
             return Err(ConfigError::NegativeLength { length_um: self.length_um });
         }
+        if self.protection != ProtectionMode::Off {
+            let width = self.flit_width as u32 + self.check_bits() as u32;
+            if width > 64 {
+                return Err(ConfigError::ProtectionTooWide { width });
+            }
+            if self.protection == ProtectionMode::Crc8
+                && !(self.flit_width + 8).is_multiple_of(self.slice_width)
+            {
+                return Err(ConfigError::CrcSliceMismatch {
+                    slice: self.slice_width,
+                    protected: self.flit_width + 8,
+                });
+            }
+            if self.early_word_ack {
+                return Err(ConfigError::ProtectionWithEarlyAck);
+            }
+            if !(1..=self.max_retries).contains(&self.resync_retries)
+                || !(1..=20).contains(&self.timeout_tap)
+            {
+                return Err(ConfigError::BadRetryPolicy {
+                    max_retries: self.max_retries,
+                    resync_retries: self.resync_retries,
+                    timeout_tap: self.timeout_tap,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -221,8 +353,55 @@ impl LinkConfig {
 
     /// Wires between switches for the serialized asynchronous links
     /// I2/I3: slice data + request/valid forward + acknowledge back.
+    /// Protection is physically honest about its wire cost: the slice
+    /// may widen (parity) and the NACK-back + resync-forward wires are
+    /// added.
     pub fn wires_async(&self) -> u32 {
-        self.slice_width as u32 + 2
+        let base = self.inner_slice_width() as u32 + 2;
+        match self.protection {
+            ProtectionMode::Off => base,
+            _ => base + 2, // + nack back, + resync forward
+        }
+    }
+
+    /// Check bits appended to each word by the configured protection
+    /// (0 when off, one per slice for parity, 8 for CRC-8).
+    pub fn check_bits(&self) -> u8 {
+        match self.protection {
+            ProtectionMode::Off => 0,
+            ProtectionMode::Parity => self.slices() as u8,
+            ProtectionMode::Crc8 => 8,
+        }
+    }
+
+    /// Width of the word actually serialized over the wire:
+    /// `flit_width` plus [`LinkConfig::check_bits`].
+    pub fn protected_width(&self) -> u8 {
+        self.flit_width + self.check_bits()
+    }
+
+    /// Slice width carried per wire transfer once protection widens
+    /// the word. Parity interleaves one check bit into every slice
+    /// (`n+1`); CRC-8 appends a check byte serialized as ordinary
+    /// trailing slices (`n`).
+    pub fn inner_slice_width(&self) -> u8 {
+        match self.protection {
+            ProtectionMode::Parity => self.slice_width + 1,
+            _ => self.slice_width,
+        }
+    }
+
+    /// The configuration the serializer/deserializer core is built
+    /// with: the protected word width and slice width, protection
+    /// cleared (the core blocks are protection-agnostic — the
+    /// generator, checker and retry blocks wrap around them).
+    pub(crate) fn inner(&self) -> LinkConfig {
+        LinkConfig {
+            flit_width: self.protected_width(),
+            slice_width: self.inner_slice_width(),
+            protection: ProtectionMode::Off,
+            ..self.clone()
+        }
     }
 
     /// Length of one wire segment between adjacent buffer stations
@@ -280,6 +459,66 @@ mod tests {
         let err = LinkConfig { slice_width: 32, ..Default::default() }.check().unwrap_err();
         assert_eq!(err, ConfigError::TooFewSlices { slices: 1 });
         assert!(err.to_string().contains("2 slices"));
+    }
+
+    #[test]
+    fn protection_widths_and_wire_costs() {
+        let c = LinkConfig::default();
+        assert_eq!(c.check_bits(), 0);
+        assert_eq!(c.protected_width(), 32);
+        let p = LinkConfig { protection: ProtectionMode::Parity, ..c.clone() };
+        p.check().expect("parity on the paper setup is valid");
+        assert_eq!(p.check_bits(), 4);
+        assert_eq!(p.protected_width(), 36);
+        assert_eq!(p.inner_slice_width(), 9);
+        assert_eq!(p.wires_async(), 13); // 9 data + req + ack + nack + resync
+        let inner = p.inner();
+        assert_eq!((inner.flit_width, inner.slice_width), (36, 9));
+        assert_eq!(inner.slices(), 4);
+        inner.check().expect("the widened core config is itself valid");
+        let g = LinkConfig { protection: ProtectionMode::Crc8, ..c };
+        g.check().expect("crc on the paper setup is valid");
+        assert_eq!(g.protected_width(), 40);
+        assert_eq!(g.inner_slice_width(), 8);
+        assert_eq!(g.wires_async(), 12);
+        assert_eq!(g.inner().slices(), 5); // the check byte rides as a 5th slice
+    }
+
+    #[test]
+    fn bad_protection_configs_rejected() {
+        let too_wide = LinkConfig {
+            flit_width: 64,
+            slice_width: 8,
+            protection: ProtectionMode::Crc8,
+            ..Default::default()
+        };
+        assert_eq!(too_wide.check().unwrap_err(), ConfigError::ProtectionTooWide { width: 72 });
+        let mismatch = LinkConfig {
+            flit_width: 32,
+            slice_width: 16,
+            protection: ProtectionMode::Crc8,
+            ..Default::default()
+        };
+        assert_eq!(
+            mismatch.check().unwrap_err(),
+            ConfigError::CrcSliceMismatch { slice: 16, protected: 40 }
+        );
+        let bad_retry = LinkConfig {
+            protection: ProtectionMode::Parity,
+            resync_retries: 9,
+            ..Default::default()
+        };
+        assert!(matches!(bad_retry.check().unwrap_err(), ConfigError::BadRetryPolicy { .. }));
+        let early = LinkConfig {
+            protection: ProtectionMode::Crc8,
+            early_word_ack: true,
+            ..Default::default()
+        };
+        assert_eq!(early.check().unwrap_err(), ConfigError::ProtectionWithEarlyAck);
+        // The same retry fields are ignored while protection is off.
+        LinkConfig { resync_retries: 9, ..Default::default() }
+            .check()
+            .expect("retry policy is irrelevant without protection");
     }
 
     #[test]

@@ -47,6 +47,8 @@ mod as_interface;
 mod assembly;
 mod config;
 mod deserializer;
+mod protect;
+mod retry;
 mod sa_interface;
 mod scoreboard;
 mod serializer;
@@ -60,7 +62,7 @@ mod word_serializer;
 
 pub use as_interface::{build_as_interface, AsInterfacePorts};
 pub use assembly::{build_link, LinkHandles, LinkKind};
-pub use config::{ConfigError, LinkConfig, WordRxStyle};
+pub use config::{ConfigError, LinkConfig, ProtectionMode, WordRxStyle};
 pub use deserializer::{build_deserializer, DeserializerPorts};
 pub use measure::{
     run, BlockPower, LinkRun, MeasureOptions, RunFailure, TraceMode,
@@ -69,8 +71,9 @@ pub use metrics::{
     BlockAttribution, BurstStats, HandshakeStats, Histogram, InFlightDepth, LinkMetrics,
     Occupancy,
 };
+pub use retry::RecoverySignals;
 pub use sa_interface::{build_sa_interface, SaInterfacePorts};
-pub use scoreboard::{check_integrity, IntegrityCounts};
+pub use scoreboard::{check_integrity, IntegrityCounts, RecoveryCounts};
 pub use serializer::{build_serializer, SerializerPorts};
 pub use sync_link::{build_skid_stage, build_sync_pipeline, SyncPipelinePorts};
 pub use wire_buffer::{build_wire_buffer, build_wire_buffer_chain, WireBufferPorts};

@@ -20,10 +20,14 @@ use sal_des::{
 };
 use sal_tech::{clock_power_uw, PowerBreakdown, PowerMeter, St012Library};
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use crate::assembly::build_link;
 use crate::config::ConfigError;
 use crate::metrics::{self, LinkMetrics};
-use crate::scoreboard::{check_integrity, IntegrityCounts};
+use crate::retry::RecoverySignals;
+use crate::scoreboard::{check_integrity, IntegrityCounts, RecoveryCounts};
 use crate::testbench::{
     attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource,
 };
@@ -91,6 +95,11 @@ pub struct MeasureOptions {
     /// the duration of the run (the dump itself is only retained on
     /// the [`LinkRun`] if [`MeasureOptions::trace`] asks for it).
     pub metrics: bool,
+    /// Kernel event budget for the run, `None` for the kernel default.
+    /// Fault campaigns that legitimately provoke long retry storms set
+    /// this to bound how much simulated work a wedged run may consume
+    /// before the event-limit watchdog declares a deadlock.
+    pub watchdog_horizon: Option<u64>,
 }
 
 impl Default for MeasureOptions {
@@ -104,6 +113,7 @@ impl Default for MeasureOptions {
             reset_hold: Time::from_ns(2),
             trace: TraceMode::Off,
             metrics: false,
+            watchdog_horizon: None,
         }
     }
 }
@@ -156,6 +166,23 @@ impl MeasureOptions {
         self.metrics = true;
         self
     }
+
+    /// Bounds the kernel event budget for the run (the event-limit
+    /// watchdog then converts a runaway retry storm into a
+    /// [`RunFailure::Deadlock`] instead of simulating indefinitely).
+    /// `None` — the default — keeps the kernel's own limit, leaving
+    /// the run bit-identical to one made without this option.
+    ///
+    /// ```
+    /// use sal_link::MeasureOptions;
+    /// let opts = MeasureOptions::default().with_watchdog_horizon(1_000_000);
+    /// assert_eq!(opts.watchdog_horizon, Some(1_000_000));
+    /// assert_eq!(MeasureOptions::default().watchdog_horizon, None);
+    /// ```
+    pub fn with_watchdog_horizon(mut self, events: u64) -> Self {
+        self.watchdog_horizon = Some(events);
+        self
+    }
 }
 
 /// Why a run did not produce a measurement.
@@ -184,6 +211,11 @@ pub enum RunFailure {
         at: Time,
         /// Watchdog analysis of the stalled handshakes, if any.
         diagnosis: Option<DeadlockReport>,
+        /// Recovery-layer activity up to the stall, when the link was
+        /// built with protection (a stuck-at campaign that exhausts
+        /// `max_retries` on every word legitimately ends here — the
+        /// retries and give-ups it logged are still the measurement).
+        recovery: Option<RecoveryCounts>,
     },
     /// The simulator failed for another reason.
     Sim(SimError),
@@ -195,12 +227,15 @@ impl std::fmt::Display for RunFailure {
             RunFailure::Config(e) => write!(f, "invalid configuration: {e}"),
             RunFailure::Build(e) => write!(f, "netlist construction failed: {e}"),
             RunFailure::Fault(e) => write!(f, "fault plan rejected: {e}"),
-            RunFailure::Deadlock { kind, delivered, expected, at, diagnosis } => {
+            RunFailure::Deadlock { kind, delivered, expected, at, diagnosis, recovery } => {
                 write!(
                     f,
                     "{} deadlocked: {delivered}/{expected} words delivered by {at}",
                     kind.label()
                 )?;
+                if let Some(r) = recovery {
+                    write!(f, " (recovery: {r})")?;
+                }
                 if let Some(d) = diagnosis {
                     write!(f, "\n{d}")?;
                 }
@@ -211,7 +246,16 @@ impl std::fmt::Display for RunFailure {
     }
 }
 
-impl std::error::Error for RunFailure {}
+impl std::error::Error for RunFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunFailure::Config(e) => Some(e),
+            RunFailure::Build(e) => Some(e),
+            RunFailure::Fault(e) | RunFailure::Sim(e) => Some(e),
+            RunFailure::Deadlock { .. } => None,
+        }
+    }
+}
 
 /// The outcome of one measured transfer.
 #[derive(Debug)]
@@ -248,6 +292,10 @@ pub struct LinkRun {
     /// [`MeasureOptions::with_trace`] asked for one. Serialise it with
     /// [`TraceDump::write_vcd`] or [`TraceDump::write_jsonl`].
     pub trace: Option<TraceDump>,
+    /// Recovery-layer activity counters, populated whenever the link
+    /// was built with [`LinkConfig::protection`] enabled (`None`
+    /// otherwise — no probes are attached to an unprotected link).
+    pub recovery: Option<RecoveryCounts>,
     metrics: Option<LinkMetrics>,
 }
 
@@ -338,6 +386,58 @@ pub struct BlockPower {
     pub total_uw: f64,
 }
 
+/// Monitors attached to the recovery layer's observability taps:
+/// rising-edge counters on the episode flags, plus the level of the
+/// sticky degrade flag read out at collection time.
+struct RecoveryProbes {
+    nacks: Rc<Cell<u64>>,
+    retries: Rc<Cell<u64>>,
+    timeouts: Rc<Cell<u64>>,
+    resyncs: Rc<Cell<u64>>,
+    gave_up: Rc<Cell<u64>>,
+    degraded: Option<SignalId>,
+}
+
+/// Counts rising edges of `sig` through a kernel monitor (catches
+/// pulses far narrower than any polling interval).
+fn count_rising(sim: &mut Simulator, name: &str, sig: SignalId) -> Rc<Cell<u64>> {
+    let count = Rc::new(Cell::new(0u64));
+    let c = count.clone();
+    let mut prev = false;
+    sim.monitor(name, sig, move |_t, v| {
+        let high = v.is_high();
+        if high && !prev {
+            c.set(c.get() + 1);
+        }
+        prev = high;
+    });
+    count
+}
+
+impl RecoveryProbes {
+    fn attach(sim: &mut Simulator, taps: &RecoverySignals) -> Self {
+        RecoveryProbes {
+            nacks: count_rising(sim, "probe_nack", taps.nack),
+            retries: count_rising(sim, "probe_retry", taps.retry),
+            timeouts: count_rising(sim, "probe_timeout", taps.timeout),
+            resyncs: count_rising(sim, "probe_resync", taps.resync),
+            gave_up: count_rising(sim, "probe_gave_up", taps.gave_up),
+            degraded: taps.degraded,
+        }
+    }
+
+    fn collect(&self, sim: &Simulator) -> RecoveryCounts {
+        RecoveryCounts {
+            nacks: self.nacks.get(),
+            retries: self.retries.get(),
+            timeouts: self.timeouts.get(),
+            resyncs: self.resyncs.get(),
+            gave_up: self.gave_up.get(),
+            degraded: self.degraded.is_some_and(|s| sim.value(s).is_high()),
+        }
+    }
+}
+
 /// Runs `words` through a freshly built link of `kind` and measures
 /// power per the paper's protocol. The single entry point for link
 /// measurement: misconfiguration, build failures, bad fault plans and
@@ -368,6 +468,10 @@ pub fn run(
     if let Some(plan) = &opts.fault_plan {
         sim.apply_fault_plan(plan).map_err(RunFailure::Fault)?;
     }
+    if let Some(limit) = opts.watchdog_horizon {
+        sim.set_max_events(limit);
+    }
+    let probes = handles.recovery.as_ref().map(|taps| RecoveryProbes::attach(&mut sim, taps));
 
     // Hold reset until every control path has settled to a defined
     // level (standard reset-deassertion practice: an X arriving at an
@@ -422,6 +526,7 @@ pub fn run(
                 expected: words.len(),
                 at: now,
                 diagnosis: sim.deadlock_report(),
+                recovery: probes.as_ref().map(|p| p.collect(&sim)),
             });
         }
         match sim.run_for(slice) {
@@ -435,6 +540,7 @@ pub fn run(
                     expected: words.len(),
                     at,
                     diagnosis: diagnosis.map(|d| *d),
+                    recovery: probes.as_ref().map(|p| p.collect(&sim)),
                 });
             }
             Err(e) => return Err(RunFailure::Sim(e)),
@@ -522,6 +628,7 @@ pub fn run(
         integrity,
         profile,
         trace,
+        recovery: probes.as_ref().map(|p| p.collect(&sim)),
         metrics,
     })
 }
@@ -620,6 +727,62 @@ mod tests {
         for pair in dump.records.windows(2) {
             assert!(pair[0].time <= pair[1].time);
         }
+    }
+
+    #[test]
+    fn run_failures_chain_their_sources() {
+        use std::error::Error as _;
+        let cfg = LinkConfig { slice_width: 5, ..Default::default() };
+        let err = run(LinkKind::I2PerTransfer, &cfg, &[1], &MeasureOptions::default())
+            .expect_err("misconfigured");
+        let src = err.source().expect("Config failures chain to the typed ConfigError");
+        assert!(src.downcast_ref::<ConfigError>().is_some());
+        assert!(src.source().is_none(), "ConfigError is the end of the chain");
+        // A fault plan naming a bogus signal chains to the kernel error.
+        let opts = MeasureOptions::default().with_fault_plan(sal_des::FaultPlan::new(1).glitch(
+            "link.no_such_signal",
+            Time::from_ns(5),
+            Time::from_ps(100),
+            1,
+        ));
+        let err = run(LinkKind::I2PerTransfer, &LinkConfig::default(), &[1, 2], &opts)
+            .expect_err("unknown fault target");
+        assert!(matches!(err, RunFailure::Fault(_)));
+        assert!(err.source().expect("chained").downcast_ref::<SimError>().is_some());
+    }
+
+    #[test]
+    fn watchdog_horizon_bounds_a_run() {
+        let cfg = LinkConfig::default();
+        let words = worst_case_pattern(4, 32);
+        // A budget far too small for even one word: the event-limit
+        // watchdog fires and the run comes back as a deadlock.
+        let opts = MeasureOptions::default().with_watchdog_horizon(2_000);
+        let err = run(LinkKind::I2PerTransfer, &cfg, &words, &opts).expect_err("budget exceeded");
+        assert!(matches!(err, RunFailure::Deadlock { .. }));
+        // The default (None) leaves the kernel limit alone.
+        run(LinkKind::I2PerTransfer, &cfg, &words, &MeasureOptions::default())
+            .expect("clean run under the kernel default");
+    }
+
+    #[test]
+    fn protected_run_reports_quiet_recovery_counts() {
+        use crate::ProtectionMode;
+        let words = worst_case_pattern(4, 32);
+        let r = run(
+            LinkKind::I2PerTransfer,
+            &LinkConfig::default(),
+            &words,
+            &MeasureOptions::default(),
+        )
+        .expect("clean run");
+        assert!(r.recovery.is_none(), "no probes on an unprotected link");
+        let cfg = LinkConfig { protection: ProtectionMode::Crc8, ..LinkConfig::default() };
+        let r = run(LinkKind::I2PerTransfer, &cfg, &words, &MeasureOptions::default())
+            .expect("clean run");
+        let rec = r.recovery.expect("protected runs carry recovery counts");
+        assert!(rec.is_quiet(), "fault-free run should need no recovery: {rec}");
+        assert!(r.integrity.is_clean());
     }
 
     #[test]

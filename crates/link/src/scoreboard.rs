@@ -51,6 +51,67 @@ impl std::fmt::Display for IntegrityCounts {
     }
 }
 
+/// Counters from the protection/recovery layer's observability taps,
+/// collected per run when [`LinkConfig::protection`] is enabled (see
+/// [`LinkRun::recovery`]).
+///
+/// These complete the scoreboard's NACK accounting: a word the
+/// checker rejected shows up here as a NACK (and usually a retry),
+/// while its eventual fate shows up in [`IntegrityCounts`] — clean if
+/// a retransmission got it through, `lost` if the transmitter gave
+/// up, never silently `corrupted` while detection holds.
+///
+/// [`LinkConfig::protection`]: crate::LinkConfig::protection
+/// [`LinkRun::recovery`]: crate::LinkRun::recovery
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounts {
+    /// NACK pulses heard at the transmitter (words the receive-side
+    /// checker consumed as corrupted).
+    pub nacks: u64,
+    /// Backoff episodes (each one is a retransmission attempt, by
+    /// NACK or by timeout).
+    pub retries: u64,
+    /// Retransmissions triggered by the ring-oscillator timeout
+    /// rather than an explicit NACK.
+    pub timeouts: u64,
+    /// Watchdog-triggered resync drains of the link core.
+    pub resyncs: u64,
+    /// Words abandoned after `max_retries` consecutive failures
+    /// (each one is a `lost` word in [`IntegrityCounts`]).
+    pub gave_up: u64,
+    /// `true` if the I3 link degraded to per-transfer-ack pacing at
+    /// any point (sticky for the rest of the run).
+    pub degraded: bool,
+}
+
+impl RecoveryCounts {
+    /// `true` when the recovery layer never had to act: no NACKs, no
+    /// retries, no resyncs, no abandoned words.
+    pub fn is_quiet(&self) -> bool {
+        self.nacks == 0
+            && self.retries == 0
+            && self.timeouts == 0
+            && self.resyncs == 0
+            && self.gave_up == 0
+            && !self.degraded
+    }
+}
+
+impl std::fmt::Display for RecoveryCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nacks, {} retries ({} by timeout), {} resyncs, {} abandoned{}",
+            self.nacks,
+            self.retries,
+            self.timeouts,
+            self.resyncs,
+            self.gave_up,
+            if self.degraded { ", degraded" } else { "" }
+        )
+    }
+}
+
 /// Compares the received word stream against the sent stream.
 ///
 /// Classification walks both streams with a matching window:

@@ -9,6 +9,15 @@
 //! request with one acknowledge; a request wired (via watches) to two
 //! different acknowledges is a protocol confusion — two receivers
 //! both believe they own the completion of the same request.
+//!
+//! Protected links register req/nack/ack *triples* (via
+//! `Simulator::watch_handshake_nack`), which add two more claims: the
+//! negative acknowledge must be a distinct wire from the acknowledge
+//! (a shared wire makes "retry" and "done" indistinguishable and the
+//! retransmission controller misclassifies every word), and it must
+//! itself be producible from the request — an unreachable NACK means
+//! detected errors can never demand retransmission, silently
+//! downgrading the protection to detect-and-drop.
 
 use std::collections::BTreeMap;
 
@@ -35,6 +44,35 @@ pub fn check(graph: &NetGraph, report: &mut LintReport) {
                     graph.signal(watch.req).path
                 ),
             );
+        }
+        if let Some(nack) = watch.nack {
+            if nack == watch.ack {
+                report.push(
+                    Severity::Error,
+                    PASS,
+                    &graph.signal(watch.req).path,
+                    format!(
+                        "handshake '{}': NACK and ack are the same wire '{}' — \
+                         the transmitter cannot tell a retransmission demand \
+                         from a completed word",
+                        watch.label,
+                        graph.signal(nack).path
+                    ),
+                );
+            } else if !reachable(graph, watch.req, nack) {
+                report.push(
+                    Severity::Error,
+                    PASS,
+                    &graph.signal(watch.req).path,
+                    format!(
+                        "handshake '{}': NACK '{}' is not reachable from req '{}' — \
+                         a detected error can never demand retransmission",
+                        watch.label,
+                        graph.signal(nack).path,
+                        graph.signal(watch.req).path
+                    ),
+                );
+            }
         }
     }
 

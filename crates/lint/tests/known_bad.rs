@@ -330,6 +330,68 @@ fn handshake_fires_on_forked_ack() {
 }
 
 #[test]
+fn handshake_fires_on_shared_nack_and_ack_wire() {
+    let mut sim = Simulator::new();
+    let lib = St012Library::default();
+    let mut b = CircuitBuilder::new(&mut sim, &lib);
+    let req = b.input("req", 1);
+    let ack = b.buf("ack", req);
+    // The NACK registered on the very wire that carries the ack:
+    // "retry" and "done" are indistinguishable at the transmitter.
+    b.sim().watch_handshake_nack("shared", req, ack, ack);
+    b.finish();
+    let report = run_all(&sim.netgraph());
+    let errs = errors_of(&report, "handshake");
+    assert!(
+        errs.iter().any(|f| f.message.contains("same wire")),
+        "expected a shared NACK/ack error, got:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn handshake_fires_on_unreachable_nack() {
+    let mut sim = Simulator::new();
+    let lib = St012Library::default();
+    let mut b = CircuitBuilder::new(&mut sim, &lib);
+    let req = b.input("req", 1);
+    let unrelated = b.input("unrelated", 1);
+    let ack = b.buf("ack", req);
+    // The NACK derives from an unrelated signal: a detected error can
+    // never demand a retransmission of this request.
+    let nack = b.inv("nack", unrelated);
+    b.sim().watch_handshake_nack("deaf", req, ack, nack);
+    b.finish();
+    let report = run_all(&sim.netgraph());
+    let errs = errors_of(&report, "handshake");
+    assert!(
+        errs.iter().any(|f| f.message.contains("NACK") && f.message.contains("not reachable")),
+        "expected an unreachable-NACK error, got:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn handshake_silent_on_healthy_nack_triple() {
+    let mut sim = Simulator::new();
+    let lib = St012Library::default();
+    let mut b = CircuitBuilder::new(&mut sim, &lib);
+    let req = b.input("req", 1);
+    let ack = b.buf("ack", req);
+    // A distinct NACK wire with a real cell path from the request —
+    // the healthy twin of the two constructions above.
+    let nack = b.inv("nack", req);
+    b.sim().watch_handshake_nack("protected", req, ack, nack);
+    b.finish();
+    let report = run_all(&sim.netgraph());
+    assert!(
+        errors_of(&report, "handshake").is_empty(),
+        "a distinct, reachable NACK must not be flagged:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
 fn handshake_silent_on_closed_loop() {
     let mut sim = Simulator::new();
     let lib = St012Library::default();

@@ -69,6 +69,30 @@ impl LinkModel {
             _ => Self::from_async(kind, cfg),
         }
     }
+
+    /// Derates the channel for a protected link on a noisy medium:
+    /// each word transmission independently fails (is NACKed or timed
+    /// out and retransmitted) with probability `p`, so the expected
+    /// transmissions per delivered word follow the geometric series
+    /// `1/(1-p)`. Sustained bandwidth scales by `1-p`, and the mean
+    /// latency grows by the expected retry round trips — each retry
+    /// costs roughly one full channel traversal (NACK flight back
+    /// plus the replayed serial word).
+    ///
+    /// # Panics
+    ///
+    /// `p` must be a probability below 1 — at `p = 1` no word is ever
+    /// delivered and the channel has no finite model.
+    pub fn with_retransmission(self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "word-error probability {p} outside [0, 1)");
+        let expected_tx = 1.0 / (1.0 - p);
+        let retry_cycles = (expected_tx - 1.0) * f64::from(self.latency_cycles);
+        LinkModel {
+            latency_cycles: self.latency_cycles + retry_cycles.ceil() as u32,
+            flits_per_cycle: self.flits_per_cycle * (1.0 - p),
+            wires: self.wires,
+        }
+    }
 }
 
 /// Per-transfer handshake constants matching the gate-level I2 at the
@@ -121,6 +145,24 @@ mod tests {
         let mf = LinkModel::from_async(LinkKind::I3PerWord, &fast);
         assert!(mf.flits_per_cycle < 1.0, "rate {}", mf.flits_per_cycle);
         assert!(mf.flits_per_cycle > 0.5);
+    }
+
+    #[test]
+    fn retransmission_derating_follows_the_geometric_series() {
+        let base = LinkModel::from_link(LinkKind::I2PerTransfer, &LinkConfig::default());
+        // A perfect medium is the identity.
+        assert_eq!(base.with_retransmission(0.0), base);
+        // 20% word-error rate: bandwidth scales by exactly 1-p, and
+        // the mean latency grows by the expected retry traversals
+        // ((1/(1-p) - 1) ≈ 0.25 of a round trip, ceiled).
+        let noisy = base.with_retransmission(0.2);
+        assert!((noisy.flits_per_cycle - base.flits_per_cycle * 0.8).abs() < 1e-12);
+        assert!(noisy.latency_cycles > base.latency_cycles);
+        assert_eq!(noisy.wires, base.wires, "derating never changes the wire count");
+        // Monotonic: a noisier medium is never faster.
+        let worse = base.with_retransmission(0.5);
+        assert!(worse.flits_per_cycle < noisy.flits_per_cycle);
+        assert!(worse.latency_cycles >= noisy.latency_cycles);
     }
 
     #[test]
