@@ -1,0 +1,125 @@
+//! Compiled-vs-interpreted engine benchmarks.
+//!
+//! The `compiled_vs_interpreted` group times identical workloads on
+//! both execution engines — the interpreted event loop and the
+//! compiled netlist engine (`Simulator::compile`) — so a regression
+//! in either shows up as a ratio change, not just a drift both sides
+//! share. The engines are bit-identical by construction (golden
+//! replay and proptest suites enforce it), so these numbers are pure
+//! wall-clock.
+//!
+//! `sliced_campaign` times the 64-way bit-sliced multi-seed pass
+//! against the same storm replayed lane by lane.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sal_bench::sliced;
+use sal_cells::{CircuitBuilder, UnitLibrary};
+use sal_des::{Simulator, Time, Value};
+use sal_link::{run, LinkConfig, LinkKind, MeasureOptions};
+
+/// Free-running ring oscillator: pure event-loop churn, every cell a
+/// member of one compiled cone.
+fn ring_oscillator(compiled: bool) -> u64 {
+    let mut sim = Simulator::new();
+    let lib = UnitLibrary;
+    let mut builder = CircuitBuilder::new(&mut sim, &lib);
+    let en = builder.input("en", 1);
+    let _osc = builder.ring_oscillator_stages("ro", en, 9);
+    builder.finish();
+    if compiled {
+        sim.compile();
+    }
+    sim.stimulus(en, &[(Time::ZERO, Value::zero(1)), (Time::from_ps(100), Value::one(1))]);
+    sim.run_until(Time::from_ns(100)).unwrap();
+    sim.events_processed()
+}
+
+/// Wide fanout bus: one toggling source into a tree of word-wide
+/// gates — exercises the compiled engine's value plane and skip path.
+fn fanout_bus(compiled: bool) -> u64 {
+    let mut sim = Simulator::new();
+    let lib = UnitLibrary;
+    let mut builder = CircuitBuilder::new(&mut sim, &lib);
+    let a = builder.input("a", 32);
+    let b = builder.input("b", 32);
+    let mut layer = vec![a, b];
+    for depth in 0..6 {
+        let mut next = Vec::new();
+        for (i, pair) in layer.chunks(2).enumerate() {
+            let x = pair[0];
+            let y = pair.get(1).copied().unwrap_or(pair[0]);
+            next.push(builder.and2(&format!("l{depth}_{i}"), x, y));
+            next.push(builder.xor2(&format!("x{depth}_{i}"), x, y));
+        }
+        layer = next;
+    }
+    builder.finish();
+    if compiled {
+        sim.compile();
+    }
+    let sched: Vec<(Time, Value)> = (0..500u64)
+        .map(|i| {
+            (Time::from_ps(100 * (i + 1)), Value::from_u64(32, if i % 2 == 0 { u32::MAX as u64 } else { 0x5555_5555 }))
+        })
+        .collect();
+    sim.stimulus(a, &sched);
+    sim.run_to_quiescence().unwrap();
+    sim.events_processed()
+}
+
+fn link_words(kind: LinkKind, compiled: bool, words: usize) -> usize {
+    let opts = if compiled {
+        MeasureOptions::default()
+    } else {
+        MeasureOptions::default().without_compile()
+    };
+    let words: Vec<u64> = (0..words as u64).map(|i| i.wrapping_mul(0x9e37_79b9) & 0xffff_ffff).collect();
+    let run = run(kind, &LinkConfig::default(), &words, &opts).expect("link run completes");
+    run.received_words().len()
+}
+
+fn bench_compiled_vs_interpreted(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiled_vs_interpreted");
+    g.sample_size(10);
+    for engine in ["interpreted", "compiled"] {
+        let compiled = engine == "compiled";
+        g.bench_with_input(BenchmarkId::new("ring_oscillator_100ns", engine), &compiled, |b, &e| {
+            b.iter(|| ring_oscillator(e));
+        });
+        g.bench_with_input(BenchmarkId::new("fanout_bus_500_toggles", engine), &compiled, |b, &e| {
+            b.iter(|| fanout_bus(e));
+        });
+        g.bench_with_input(BenchmarkId::new("i1_sync_64_words", engine), &compiled, |b, &e| {
+            b.iter(|| link_words(LinkKind::I1Sync, e, 64));
+        });
+        g.bench_with_input(BenchmarkId::new("i2_per_transfer_64_words", engine), &compiled, |b, &e| {
+            b.iter(|| link_words(LinkKind::I2PerTransfer, e, 64));
+        });
+        g.bench_with_input(BenchmarkId::new("i3_per_word_64_words", engine), &compiled, |b, &e| {
+            b.iter(|| link_words(LinkKind::I3PerWord, e, 64));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sliced_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sliced_campaign");
+    g.sample_size(10);
+    // The golden storm: 64 packed seeds, one demoted lane.
+    g.bench_function("64_lanes_sliced", |b| {
+        b.iter(|| sliced::sliced_campaign(73, 64));
+    });
+    g.bench_function("64_lanes_scalar_loop", |b| {
+        b.iter(|| {
+            (0..64u8).map(|k| sliced::scalar_run(73, k, 64).len()).sum::<usize>()
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_compiled_vs_interpreted, bench_sliced_campaign
+}
+criterion_main!(benches);

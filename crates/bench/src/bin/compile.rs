@@ -1,0 +1,44 @@
+//! Compiled-engine equivalence + sliced-campaign report. Prints the
+//! engine-agreement table and writes the machine-readable
+//! `BENCH_compile.json` (bytewise deterministic — CI diffs it against
+//! a committed fixture).
+
+use sal_bench::compile_report::{report, to_json};
+
+fn main() {
+    let r = report();
+
+    println!("== compiled vs interpreted (integer behavioral counters) ==");
+    println!(
+        "{:<26} {:>9} {:>12} {:>12} {:>7} {:>10} {:>10}",
+        "workload", "identical", "commits", "checksum", "cones", "cone_evals", "ev_avoided"
+    );
+    for w in &r.workloads {
+        println!(
+            "{:<26} {:>9} {:>12} {:>12x} {:>7} {:>10} {:>10}",
+            w.name,
+            w.identical(),
+            w.compiled.commits,
+            w.compiled.checksum,
+            w.compiled.cones_built,
+            w.compiled.cone_evals,
+            w.compiled.events_avoided
+        );
+    }
+
+    println!("\n== sliced campaigns (64 lanes) ==");
+    println!(
+        "{:<6} {:>8} {:>18} {:>9} {:>11}",
+        "seed", "lanes", "diverged", "distinct", "mismatched"
+    );
+    for s in &r.sliced {
+        println!(
+            "{:<6} {:>8} {:>#18x} {:>9} {:>11}",
+            s.seed, s.lanes, s.diverged, s.distinct_from_control, s.mismatched
+        );
+    }
+
+    let json = to_json(&r);
+    std::fs::write("BENCH_compile.json", &json).expect("write BENCH_compile.json");
+    println!("\nwrote BENCH_compile.json ({} bytes)", json.len());
+}

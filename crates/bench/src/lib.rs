@@ -24,8 +24,10 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod compile_report;
 pub mod experiments;
 pub mod recovery;
 pub mod robustness;
+pub mod sliced;
 pub mod sweep;
 pub mod table;

@@ -3,7 +3,10 @@
 
 use std::collections::BTreeMap;
 
-use sal_des::{CellClass, ComponentId, ScopeId, SignalId, SimResult, Simulator, Time, Value};
+use sal_des::{
+    CellClass, CombFunc, CombSpec, ComponentId, ScopeId, SignalId, SimResult, Simulator, SpecOp,
+    Time, Value,
+};
 
 use crate::async_cells::{CElement, DavidCell};
 use crate::error::BuildError;
@@ -235,6 +238,46 @@ impl<'a> CircuitBuilder<'a> {
         p
     }
 
+    /// Maps the cell library's gate op onto the kernel's compiled
+    /// spec op (the kernel cannot depend on this crate, so the enum is
+    /// mirrored there).
+    fn spec_op(op: GateOp) -> SpecOp {
+        match op {
+            GateOp::Buf => SpecOp::Buf,
+            GateOp::Inv => SpecOp::Inv,
+            GateOp::And => SpecOp::And,
+            GateOp::Or => SpecOp::Or,
+            GateOp::Nand => SpecOp::Nand,
+            GateOp::Nor => SpecOp::Nor,
+            GateOp::Xor => SpecOp::Xor,
+            GateOp::Xnor => SpecOp::Xnor,
+        }
+    }
+
+    /// Registers the compiled-execution description of a plain gate.
+    fn gate_spec(
+        &mut self,
+        id: ComponentId,
+        out: SignalId,
+        op: GateOp,
+        inputs: &[SignalId],
+        width: u8,
+        delay: Time,
+    ) {
+        self.sim.set_comb_spec(
+            id,
+            CombSpec::new(
+                out,
+                CombFunc::Gate {
+                    op: Self::spec_op(op),
+                    inputs: inputs.to_vec(),
+                    width,
+                    delay,
+                },
+            ),
+        );
+    }
+
     fn gate(&mut self, name: &str, op: GateOp, kind: CellKind, inputs: &[SignalId]) -> SignalId {
         let Some(width) = inputs.iter().map(|&s| self.sim.signal_width(s)).max() else {
             self.record_error(BuildError::EmptyInputs { cell: name.to_string() });
@@ -245,6 +288,7 @@ impl<'a> CircuitBuilder<'a> {
         let comp = Gate::new(op, inputs.to_vec(), out, width, p.delay);
         let id = self.sim.add_component(name, comp, inputs);
         self.tag(id, CellClass::Comb, p.delay);
+        self.gate_spec(id, out, op, inputs, width, p.delay);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
@@ -324,6 +368,10 @@ impl<'a> CircuitBuilder<'a> {
         let comp = Mux2::new(sel, a, b, out, p.delay);
         let id = self.sim.add_component(name, comp, &[sel, a, b]);
         self.tag(id, CellClass::Comb, p.delay);
+        self.sim.set_comb_spec(
+            id,
+            CombSpec::new(out, CombFunc::Mux2 { sel, a, b, delay: p.delay }),
+        );
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
@@ -347,6 +395,7 @@ impl<'a> CircuitBuilder<'a> {
         let id = self.sim.add_component(name, comp, &ins);
         self.tag(id, CellClass::Latch, p.delay);
         self.sim.set_component_pins(id, &[d], &[en]);
+        self.sim.set_capture_rule(q, d);
         let res = self.sim.connect_driver(id, q);
         self.check_driver(name, res);
         self.sim.set_signal_energy(q, p.energy_fj);
@@ -375,6 +424,7 @@ impl<'a> CircuitBuilder<'a> {
         self.tag(id, CellClass::Dff, p.delay);
         self.sim.set_component_pins(id, &[d], &[clk]);
         self.sim.declare_read(id, d);
+        self.sim.set_capture_rule(q, d);
         let res = self.sim.connect_driver(id, q);
         self.check_driver(name, res);
         self.sim.set_signal_energy(q, p.energy_fj);
@@ -407,6 +457,7 @@ impl<'a> CircuitBuilder<'a> {
         let id = self.sim.add_component(name, comp, &ins);
         self.tag(id, CellClass::Dff, p.delay);
         self.sim.set_component_pins(id, &[d], &[clk]);
+        self.sim.set_capture_rule(q, d);
         let res = self.sim.connect_driver(id, q);
         self.check_driver(name, res);
         self.sim.set_signal_energy(q, p.energy_fj);
@@ -461,6 +512,7 @@ impl<'a> CircuitBuilder<'a> {
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, p.delay);
         let id = self.sim.add_component(name, comp, &[src]);
         self.tag(id, CellClass::Comb, p.delay);
+        self.gate_spec(id, out, GateOp::Buf, &[src], width, p.delay);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, p.energy_fj);
@@ -623,6 +675,8 @@ impl<'a> CircuitBuilder<'a> {
         let comp = crate::comb::SliceWire::new(bus, lo, width, out);
         let id = self.sim.add_component(name, comp, &[bus]);
         self.tag(id, CellClass::Route, Time::ZERO);
+        self.sim
+            .set_comb_spec(id, CombSpec::new(out, CombFunc::Slice { src: bus, lo, width }));
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         out
@@ -648,6 +702,8 @@ impl<'a> CircuitBuilder<'a> {
         let comp = crate::comb::ConcatWire::new(parts.to_vec(), out);
         let id = self.sim.add_component(name, comp, parts);
         self.tag(id, CellClass::Route, Time::ZERO);
+        self.sim
+            .set_comb_spec(id, CombSpec::new(out, CombFunc::Concat { parts: parts.to_vec() }));
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         out
@@ -669,6 +725,7 @@ impl<'a> CircuitBuilder<'a> {
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
         let id = self.sim.add_component(name, comp, &[src]);
         self.tag(id, CellClass::Wire, delay);
+        self.gate_spec(id, out, GateOp::Buf, &[src], width, delay);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, energy_fj);
@@ -696,6 +753,7 @@ impl<'a> CircuitBuilder<'a> {
         let comp = Gate::new(GateOp::Buf, vec![src], out, width, delay);
         let id = self.sim.add_component(name, comp, &[src]);
         self.tag(id, CellClass::Wire, delay);
+        self.gate_spec(id, out, GateOp::Buf, &[src], width, delay);
         let res = self.sim.connect_driver(id, out);
         self.check_driver(name, res);
         self.sim.set_signal_energy(out, energy_fj);
@@ -818,6 +876,7 @@ impl<'a> CircuitBuilder<'a> {
             let comp = Gate::new(GateOp::Inv, vec![tok_last], out, 1, p.delay);
             let id = self.sim.add_component(&format!("{name}_d0"), comp, &[tok_last]);
             self.tag(id, CellClass::Comb, p.delay);
+            self.gate_spec(id, out, GateOp::Inv, &[tok_last], 1, p.delay);
             let res = self.sim.connect_driver(id, out);
             self.check_driver(name, res);
             self.sim.set_signal_energy(out, p.energy_fj);
@@ -837,6 +896,7 @@ impl<'a> CircuitBuilder<'a> {
                 let id = self.sim.add_component(&format!("{name}_q{k}"), comp, &ins);
                 self.tag(id, CellClass::Dff, p.delay);
                 self.sim.set_component_pins(id, &[prev], &[clk]);
+                self.sim.set_capture_rule(tok_last, prev);
                 let res = self.sim.connect_driver(id, tok_last);
                 self.check_driver(name, res);
                 self.sim.set_signal_energy(tok_last, p.energy_fj);
@@ -875,6 +935,7 @@ impl<'a> CircuitBuilder<'a> {
             let comp = Gate::new(GateOp::Inv, vec![tok_last], out, 1, p.delay);
             let id = self.sim.add_component(&format!("{name}_n0"), comp, &[tok_last]);
             self.tag(id, CellClass::Comb, p.delay);
+            self.gate_spec(id, out, GateOp::Inv, &[tok_last], 1, p.delay);
             let res = self.sim.connect_driver(id, out);
             self.check_driver(name, res);
             self.sim.set_signal_energy(out, p.energy_fj);
@@ -891,6 +952,7 @@ impl<'a> CircuitBuilder<'a> {
             let id = self.sim.add_component(&format!("{name}_q0"), comp, &ins);
             self.tag(id, CellClass::Dff, p.delay);
             self.sim.set_component_pins(id, &[d0], &[clk]);
+            self.sim.set_capture_rule(q0_sig, d0);
             let res = self.sim.connect_driver(id, q0_sig);
             self.check_driver(name, res);
             self.sim.set_signal_energy(q0_sig, p.energy_fj);
@@ -912,6 +974,7 @@ impl<'a> CircuitBuilder<'a> {
             let id = self.sim.add_component(&format!("{name}_q{k}"), comp, &ins);
             self.tag(id, CellClass::Dff, p.delay);
             self.sim.set_component_pins(id, &[d], &[clk]);
+            self.sim.set_capture_rule(q_sig, d);
             let res = self.sim.connect_driver(id, q_sig);
             self.check_driver(name, res);
             self.sim.set_signal_energy(q_sig, p.energy_fj);
@@ -1008,6 +1071,7 @@ impl<'a> CircuitBuilder<'a> {
         let comp = Gate::new(GateOp::Inv, vec![node], fb, 1, p.delay);
         let id = self.sim.add_component(&format!("{name}_inv_fb"), comp, &[node]);
         self.tag(id, CellClass::Comb, p.delay);
+        self.gate_spec(id, fb, GateOp::Inv, &[node], 1, p.delay);
         // A ring oscillator is the one intentional combinational loop
         // in the paper's designs (the I3 burst clock); exempting its
         // loop-closing inverter lets the loop lint downgrade every

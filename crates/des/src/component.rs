@@ -114,19 +114,33 @@ impl Ctx<'_> {
         // already in flight — re-asserting an unchanged target must
         // NOT restart the delay, or input churn could postpone a
         // transition indefinitely.
+        //
+        // An active sliced campaign pass must hear about skipped and
+        // superseded dynamic drives: a lane tracking different values
+        // could have decided differently, and the pass demotes it.
         if state.pending {
             if state.pending_value == value {
+                if self.kernel.sliced.is_some() {
+                    self.kernel.slice_dyn_skip(self.comp, sig, &value);
+                }
                 return;
             }
         } else if state.value == value {
+            if self.kernel.sliced.is_some() {
+                self.kernel.slice_dyn_skip(self.comp, sig, &value);
+            }
             return;
         }
+        let superseded = state.pending;
         state.drive_epoch += 1;
         state.pending = true;
         state.pending_value = value;
         let epoch = state.drive_epoch;
         let t = self.kernel.now + delay;
         self.kernel.queue.push(t, EventKind::Drive { signal: sig, epoch });
+        if superseded && self.kernel.sliced.is_some() {
+            self.kernel.slice_dyn_supersede(self.comp, sig);
+        }
     }
 
     /// When the installed fault plan enables setup-window checking for

@@ -210,8 +210,9 @@ impl EventQueue {
         Some(())
     }
 
-    /// Earliest queued timestamp across all three lanes.
-    #[cfg(test)]
+    /// Earliest queued timestamp across all three lanes. The compiled
+    /// engine's calendar merge peeks here every loop iteration to
+    /// decide which container owns the next delta.
     pub fn peek_time(&self) -> Option<Time> {
         if self.ring.front().is_some() {
             return Some(self.ring_time);
@@ -275,6 +276,52 @@ impl EventQueue {
             }
             _ => None,
         }
+    }
+
+    /// [`EventQueue::pop_drive_at`] for callers that did not reach
+    /// `time` by popping this queue: primes the ring with the events
+    /// of that timestamp first. The compiled calendar uses this when a
+    /// calendar delta ties with queued drives — those drives must join
+    /// the calendar commits' delta batch (all same-time commits land
+    /// before any fanout evaluates), exactly as they would have shared
+    /// one delta in the interpreted kernel. Without the priming, a
+    /// due-now queue drive would stay buried in the near/far lanes,
+    /// the fanout would evaluate against the stale value, and an
+    /// inertial re-drive could cancel a commit that was already due.
+    #[inline]
+    pub fn pop_leading_drive_at(&mut self, time: Time) -> Option<Event> {
+        if self.ring.front().is_none() {
+            if self.peek_time() != Some(time) {
+                return None;
+            }
+            self.advance_ring();
+        }
+        self.pop_drive_at(time)
+    }
+
+    /// Whether the next due event at `time` is a `Drive`. Primes the
+    /// ring (the same migration a pop would do) so the answer reflects
+    /// true seq order. The compiled calendar's tie-break consults this:
+    /// at a time tie the calendar may only go first when the queue's
+    /// due event is a drive that can join the calendar's commit batch.
+    /// A non-drive at the front (a wake or fault scheduled long ago,
+    /// hence with an earlier seq) must run as its own delta *before*
+    /// the drive batch, exactly as the interpreted loop orders it —
+    /// otherwise the drives queued behind it sit out the batch, the
+    /// fanout evaluates against stale values, and an inertial re-drive
+    /// cancels commits that were already due.
+    #[inline]
+    pub fn due_is_drive(&mut self, time: Time) -> bool {
+        if self.ring.front().is_none() {
+            if self.peek_time() != Some(time) {
+                return false;
+            }
+            self.advance_ring();
+        }
+        matches!(
+            self.ring.front(),
+            Some(ev) if ev.time == time && matches!(ev.kind, EventKind::Drive { .. })
+        )
     }
 
     pub fn len(&self) -> usize {

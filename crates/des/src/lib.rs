@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
 mod component;
 mod error;
 mod event;
@@ -62,6 +63,7 @@ mod netgraph;
 mod scope;
 mod signal;
 mod sim;
+mod slice;
 mod stats;
 mod time;
 pub mod trace;
@@ -69,6 +71,7 @@ mod value;
 pub mod vcd;
 mod watchdog;
 
+pub use compile::{CombFunc, CombSpec, SpecOp};
 pub use component::{Component, ComponentId, Ctx};
 pub use error::{SimError, SimResult};
 pub use fault::{FaultPlan, Glitch, SkewRule, StuckAt};
@@ -84,4 +87,4 @@ pub use trace::{
 pub use watchdog::{DeadlockReport, StalledHandshake};
 pub use stats::{ActivityReport, EnergyReport, ScopeEnergy, SimProfile};
 pub use time::Time;
-pub use value::{Logic, Value};
+pub use value::{LaneValues, Logic, Value};

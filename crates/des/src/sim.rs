@@ -1,5 +1,6 @@
 //! The simulator: netlist container plus event loop.
 
+use crate::compile::{CombSpec, Compiled, ConeForest};
 use crate::component::{Component, ComponentId, Ctx};
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan, FaultState};
@@ -10,8 +11,9 @@ use crate::scope::{ScopeId, ScopePath, ScopeTree};
 use crate::signal::{SignalId, SignalInfo, SignalState};
 use crate::stats::{ActivityReport, EnergyReport, ScopeEnergy, SimProfile};
 use crate::trace::{MemoryTrace, TraceRecord, TraceSignalMeta, TraceSink};
+use crate::slice::Sliced;
 use crate::watchdog::{DeadlockReport, HandshakeWatch, StalledHandshake};
-use crate::{SimError, SimResult, Time, Value};
+use crate::{LaneValues, SimError, SimResult, Time, Value};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +70,47 @@ pub(crate) struct Kernel {
     /// [`FaultPlan`] leaves this `None`, so a clean run is
     /// bit-identical to a build without the fault subsystem.
     pub fault: Option<Box<FaultState>>,
+    /// The active bit-sliced campaign pass, if
+    /// [`Simulator::slice_begin`] ran. Lives in the kernel (not the
+    /// simulator) so the dynamic-drive skip paths in [`Ctx::drive`]
+    /// can reach it; boxed so the common scalar run pays one pointer
+    /// test, not the struct's footprint.
+    pub sliced: Option<Box<Sliced>>,
+}
+
+impl Kernel {
+    /// Routes one committed value change through the active sliced
+    /// campaign pass. `forced` is `Some(was_pending)` for force
+    /// commits (fault actions), `None` for driver commits.
+    fn slice_commit(
+        &mut self,
+        time: Time,
+        signal: SignalId,
+        old: &Value,
+        new: &Value,
+        forced: Option<bool>,
+    ) {
+        let (signals, sliced) = (&self.signals, &mut self.sliced);
+        let Some(sl) = sliced else { return };
+        let driver = signals[signal.index()].driver;
+        sl.on_commit(time, signal, old, new, forced, driver, |s| signals[s.index()].value);
+    }
+
+    /// Reports a skipped dynamic drive to the active sliced pass (the
+    /// inertial no-op rules in [`Ctx::drive`] fired).
+    pub(crate) fn slice_dyn_skip(&mut self, comp: ComponentId, out: SignalId, v: &Value) {
+        let (signals, sliced) = (&self.signals, &mut self.sliced);
+        let Some(sl) = sliced else { return };
+        sl.dyn_skip(comp, out, v, |s| signals[s.index()].value);
+    }
+
+    /// Reports a dynamic drive that superseded an in-flight one to the
+    /// active sliced pass.
+    pub(crate) fn slice_dyn_supersede(&mut self, comp: ComponentId, out: SignalId) {
+        let (signals, sliced) = (&self.signals, &mut self.sliced);
+        let Some(sl) = sliced else { return };
+        sl.dyn_supersede(comp, out, |s| signals[s.index()].value);
+    }
 }
 
 /// An event-driven gate-level simulator holding a netlist of signals
@@ -113,6 +156,22 @@ pub struct Simulator {
     queue_peak: usize,
     /// Wall-clock time spent inside `run_until` since construction.
     wall: std::time::Duration,
+    /// Compiled execution specs registered by the cell builders,
+    /// indexed by `ComponentId` (sparse — `None` for cells with no
+    /// combinational description). Inert until [`Simulator::compile`].
+    comb_specs: Vec<Option<CombSpec>>,
+    /// The active compiled engine, if [`Simulator::compile`] ran.
+    compiled: Option<Compiled>,
+    /// State-cell capture rules `q <- d` registered by the cell
+    /// builders for the sliced campaign engine. Inert until
+    /// [`Simulator::slice_begin`].
+    capture_rules: Vec<(SignalId, SignalId)>,
+    /// Lanes carried by the last bit-sliced campaign pass attached to
+    /// this simulator (recorded by the lane executor; profiling only).
+    lanes_active: u64,
+    /// Lanes the last bit-sliced campaign pass demoted to scalar
+    /// replay (recorded by the lane executor; profiling only).
+    scalar_fallbacks: u64,
 }
 
 impl Default for Simulator {
@@ -167,6 +226,7 @@ impl Simulator {
                 scope_energy_fj: vec![0.0],
                 trace,
                 fault: None,
+                sliced: None,
                 commits: 0,
             },
             comps: Vec::new(),
@@ -185,6 +245,11 @@ impl Simulator {
             queue_samples: 0,
             queue_peak: 0,
             wall: std::time::Duration::ZERO,
+            comb_specs: Vec::new(),
+            compiled: None,
+            capture_rules: Vec::new(),
+            lanes_active: 0,
+            scalar_fallbacks: 0,
         }
     }
 
@@ -381,8 +446,238 @@ impl Simulator {
 
     /// Exempts a component from the combinational-loop lint (the one
     /// legitimate use is a ring oscillator's loop-closing inverter).
+    /// Exempt components are also excluded from compiled execution:
+    /// a free-running loop's timing *is* its behaviour, so it stays on
+    /// the event queue.
     pub fn set_loop_exempt(&mut self, comp: ComponentId) {
         self.net.set_loop_exempt(comp);
+    }
+
+    /// Registers a compiled execution spec for a combinational
+    /// component. Inert until [`Simulator::compile`] — a simulator
+    /// that never compiles behaves bit-identically to one with no
+    /// specs registered.
+    pub fn set_comb_spec(&mut self, comp: ComponentId, spec: CombSpec) {
+        if self.comb_specs.len() <= comp.index() {
+            self.comb_specs.resize_with(comp.index() + 1, || None);
+        }
+        self.comb_specs[comp.index()] = Some(spec);
+    }
+
+    /// The registered compiled spec of a component, if any.
+    pub fn comb_spec(&self, comp: ComponentId) -> Option<&CombSpec> {
+        self.comb_specs.get(comp.index()).and_then(Option::as_ref)
+    }
+
+    /// True once [`Simulator::compile`] has activated compiled
+    /// execution.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Switches every eligible combinational component to compiled
+    /// execution. Call once, after netlist construction.
+    ///
+    /// Eligibility: a [`CombSpec`] is registered, the cell class is
+    /// transparent (combinational, wiring or routing), and the
+    /// component is not [loop-exempt](Simulator::set_loop_exempt).
+    /// State cells, matched-delay models, environment components and
+    /// ring-oscillator loop closers keep interpreted event-queue
+    /// execution — their event timing is the object of study.
+    ///
+    /// Returns the number of components switched. Calling it on a
+    /// netlist with no registered specs activates an empty (no-op)
+    /// compiled engine.
+    pub fn compile(&mut self) -> usize {
+        let ncomp = self.comps.len();
+        let mut member = vec![false; ncomp];
+        for (i, m) in member.iter_mut().enumerate() {
+            let id = ComponentId(i as u32);
+            *m = self.comb_specs.get(i).is_some_and(|s| s.is_some())
+                && self.net.class(id).is_transparent()
+                && !self.net.loop_exempt.get(i).copied().unwrap_or(false);
+        }
+        let members = member.iter().filter(|&&m| m).count();
+        // Count the weakly-connected compiled regions ("cones"): two
+        // members share a cone when one's output feeds the other.
+        let mut forest = ConeForest::new(ncomp);
+        for st in &self.kernel.signals {
+            let Some(driver) = st.driver else { continue };
+            if !member[driver.index()] {
+                continue;
+            }
+            for &reader in &st.fanout {
+                if member[reader.index()] {
+                    forest.union(driver.0, reader.0);
+                }
+            }
+        }
+        let mut roots: Vec<u32> = (0..ncomp as u32)
+            .filter(|&i| member[i as usize])
+            .map(|i| forest.find(i))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        // Lower every member's spec into the flat node table and
+        // snapshot the committed values into the dense shadow the
+        // nodes evaluate over (maintained by the commit paths from
+        // here on).
+        let values: Vec<Value> = self.kernel.signals.iter().map(|s| s.value).collect();
+        let mut compiled = Compiled::new(
+            vec![crate::compile::NO_NODE; ncomp],
+            Vec::new(),
+            Vec::new(),
+            values,
+            roots.len() as u64,
+        );
+        for (i, m) in member.iter().enumerate() {
+            if *m {
+                let spec = self.comb_specs[i].as_ref().expect("member has a spec");
+                compiled.add_node(ComponentId(i as u32), spec);
+            }
+        }
+        self.compiled = Some(compiled);
+        members
+    }
+
+    /// Records bit-sliced campaign statistics for
+    /// [`Simulator::profile`] (called by the lane executor).
+    pub fn note_lane_stats(&mut self, lanes_active: u64, scalar_fallbacks: u64) {
+        self.lanes_active = lanes_active;
+        self.scalar_fallbacks = scalar_fallbacks;
+    }
+
+    // ------------------------------------------------------------------
+    // Bit-sliced campaigns
+    // ------------------------------------------------------------------
+
+    /// Registers a state-cell capture rule `q <- d` for the sliced
+    /// campaign engine: commits of `q` that pass the captured `d`
+    /// through verbatim inherit `d`'s per-lane planes. Called by the
+    /// cell builders for latches and flip-flops; inert until
+    /// [`Simulator::slice_begin`].
+    pub fn set_capture_rule(&mut self, q: SignalId, d: SignalId) {
+        self.capture_rules.push((q, d));
+    }
+
+    /// Starts a bit-sliced campaign pass carrying `lanes` seeds (1 to
+    /// 64) over this simulator. Requires compiled execution
+    /// ([`Simulator::compile`]): the lane planes advance through the
+    /// compiled nodes' lane-parallel evaluators.
+    ///
+    /// Schedule per-lane glitches with [`Simulator::slice_glitch`],
+    /// record per-lane histories with [`Simulator::slice_tap`], run
+    /// the simulation once, then call [`Simulator::slice_seal`]: every
+    /// lane *not* in the returned diverged mask has tap histories
+    /// bit-identical to a scalar run seeded with that lane's masks;
+    /// diverged lanes must be replayed scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Simulator::compile`] has not run or `lanes` is
+    /// outside `1..=64`.
+    pub fn slice_begin(&mut self, lanes: u8) {
+        let compiled = self.compiled.as_ref().expect("slice_begin requires compile()");
+        let nsignals = self.kernel.signals.len();
+        // Non-member probe lists: the signals each interpreted cell
+        // reacts to (sensitivity fanout) plus its declared
+        // non-sensitized reads — the conservative divergence probe
+        // for commits the plane algebra cannot follow.
+        let mut reads: Vec<Vec<SignalId>> = vec![Vec::new(); self.comps.len()];
+        for (i, st) in self.kernel.signals.iter().enumerate() {
+            let s = SignalId(i as u32);
+            for &comp in &st.fanout {
+                if !compiled.is_member(comp) {
+                    if let Some(r) = reads.get_mut(comp.index()) {
+                        r.push(s);
+                    }
+                }
+            }
+        }
+        for &(comp, s) in &self.net.declared_reads {
+            if !compiled.is_member(comp) {
+                if let Some(r) = reads.get_mut(comp.index()) {
+                    if !r.contains(&s) {
+                        r.push(s);
+                    }
+                }
+            }
+        }
+        self.kernel.sliced =
+            Some(Box::new(Sliced::new(lanes, nsignals, &self.capture_rules, reads)));
+        self.lanes_active = u64::from(lanes);
+        self.scalar_fallbacks = 0;
+    }
+
+    /// Schedules a sliced glitch: at `at`, lane `k` XORs `masks[k]`
+    /// into `signal` for `width`. The carrier executes the *union* of
+    /// all lanes' masks through the regular fault machinery, so every
+    /// lane's disturbance exists in the carrier's event stream; each
+    /// lane's planes take only its own mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sliced pass is active, `at` is in the past,
+    /// `masks` doesn't hold one mask per lane, `width` is zero, or the
+    /// site overlaps an earlier one on the same signal.
+    pub fn slice_glitch(&mut self, at: Time, signal: SignalId, width: Time, masks: &[u64]) {
+        assert!(at >= self.kernel.now, "sliced glitch scheduled in the past");
+        let sliced = self.kernel.sliced.as_mut().expect("slice_begin first");
+        sliced.add_glitch(at, signal, width, masks);
+        let union = masks.iter().fold(0u64, |acc, &m| acc | m);
+        // An empty fault state transforms every drive to itself, so
+        // installing one here keeps clean-path behaviour bit-identical.
+        let fault = self.kernel.fault.get_or_insert_with(|| {
+            Box::new(FaultState {
+                comp_scale: Vec::new(),
+                extra_delay_fs: Vec::new(),
+                stuck_from: Vec::new(),
+                setup_check: Vec::new(),
+                actions: Vec::new(),
+            })
+        });
+        let action = fault.actions.len() as u32;
+        fault.actions.push(FaultAction::Glitch { signal, mask: union, width });
+        self.kernel.queue.push(at, EventKind::Fault { action });
+    }
+
+    /// Registers a per-lane tap on `signal`: every subsequent carrier
+    /// commit appends `(time, planes)` to the history returned by
+    /// [`Simulator::slice_tap_history`], seeded with the planes at
+    /// registration time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sliced pass is active.
+    pub fn slice_tap(&mut self, signal: SignalId) {
+        let now = self.kernel.now;
+        let cur = self.kernel.signals[signal.index()].value;
+        self.kernel.sliced.as_mut().expect("slice_begin first").add_tap(signal, now, &cur);
+    }
+
+    /// The per-lane commit history of a tapped signal. `None` if no
+    /// sliced pass is active or the signal was never tapped.
+    pub fn slice_tap_history(&self, signal: SignalId) -> Option<&[(Time, LaneValues)]> {
+        self.kernel.sliced.as_ref()?.tap_history(signal)
+    }
+
+    /// Lanes the active sliced pass has demoted so far (bit `k` set =
+    /// lane `k` diverged), without the final missed-force sweep.
+    pub fn slice_diverged(&self) -> u64 {
+        self.kernel.sliced.as_ref().map_or(0, |s| s.diverged)
+    }
+
+    /// Ends the sliced pass's accounting: processes every remaining
+    /// expected injection as missed and returns the final
+    /// diverged-lane mask. Lanes not in the mask have tap histories
+    /// bit-identical to scalar runs with their masks; lanes in it must
+    /// be replayed scalar. The pass stays attached and queryable.
+    pub fn slice_seal(&mut self) -> u64 {
+        let (signals, sliced) = (&self.kernel.signals, &mut self.kernel.sliced);
+        let Some(sl) = sliced else { return 0 };
+        let mask = sl.seal(|s| signals[s.index()].value);
+        self.scalar_fallbacks = u64::from(mask.count_ones());
+        mask
     }
 
     /// Marks a signal as a block port: it is legitimately undriven
@@ -754,6 +1049,11 @@ impl Simulator {
             },
             wall: self.wall,
             sim_time: self.kernel.now,
+            cones_built: self.compiled.as_ref().map_or(0, |c| c.cones_built),
+            cone_evals: self.compiled.as_ref().map_or(0, |c| c.cone_evals),
+            events_avoided: self.compiled.as_ref().map_or(0, |c| c.events_avoided),
+            lanes_active: self.lanes_active,
+            scalar_fallbacks: self.scalar_fallbacks,
         }
     }
 
@@ -821,7 +1121,7 @@ impl Simulator {
                 .signal_by_path(&g.path)
                 .ok_or_else(|| SimError::UnknownFaultTarget { path: g.path.clone() })?;
             let width = self.kernel.signals[sig.index()].width;
-            let lane_mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let lane_mask = Value::width_mask(width);
             let idx = actions.len() as u32;
             actions.push(FaultAction::Glitch {
                 signal: sig,
@@ -926,9 +1226,12 @@ impl Simulator {
     fn force_signal(&mut self, signal: SignalId, value: Value) {
         let kernel = &mut self.kernel;
         let st = &mut kernel.signals[signal.index()];
+        let was_pending = st.pending;
         st.drive_epoch += 1;
         st.pending = false;
         if st.value == value {
+            // No commit, so no sliced hook fires: a missed injection
+            // is caught by the sliced pass's expected-force sweep.
             return;
         }
         let toggles = st.value.toggles_to(&value);
@@ -937,9 +1240,17 @@ impl Simulator {
         st.value = value;
         st.last_change = kernel.now;
         kernel.commits += 1;
+        if let Some(c) = &mut self.compiled {
+            c.values[signal.index()] = value;
+        }
         if let Some(sink) = &mut kernel.trace {
             sink.record(&TraceRecord { time: kernel.now, signal, old, new: value });
         }
+        if kernel.sliced.is_some() {
+            let now = kernel.now;
+            kernel.slice_commit(now, signal, &old, &value, Some(was_pending));
+        }
+        let st = &self.kernel.signals[signal.index()];
         self.pending_evals.extend_from_slice(&st.fanout);
     }
 
@@ -981,7 +1292,47 @@ impl Simulator {
     pub fn run_until(&mut self, horizon: Time) -> SimResult<Time> {
         let wall_start = std::time::Instant::now();
         let mut processed: u64 = 0;
-        while let Some(ev) = self.kernel.queue.pop_at_or_before(horizon) {
+        loop {
+            // Merge the compiled engine's calendar with the global
+            // queue, *calendar first at drive ties*: a compiled drive
+            // committing at the same femtosecond as a queued drive
+            // must share the latter's delta batch, so both land before
+            // any fanout evaluates — matching the interpreted kernel
+            // where they would have shared one delta (the
+            // data-beats-trigger side of bundled data). A *non-drive*
+            // tie (wake or fault, scheduled long ago with an earlier
+            // seq) instead yields to the queue: the interpreted loop
+            // runs it as its own delta before the drive batch, and the
+            // calendar must not commit past it.
+            let take_calendar = match self.compiled.as_ref().and_then(Compiled::peek_time) {
+                Some(ct) if ct <= horizon => match self.kernel.queue.peek_time() {
+                    None => true,
+                    Some(qt) => ct < qt || (ct == qt && self.kernel.queue.due_is_drive(qt)),
+                },
+                _ => false,
+            };
+            if take_calendar {
+                // The batch does its own per-delta accounting
+                // (deltas, queue sampling); only the event budget is
+                // settled out here.
+                let cap = self.config.max_events.saturating_sub(processed).saturating_add(1);
+                processed += self.step_calendar_batch(horizon, cap);
+                if processed > self.config.max_events {
+                    self.events_processed += processed;
+                    self.wall += wall_start.elapsed();
+                    return Err(SimError::EventLimitExceeded {
+                        at: self.kernel.now,
+                        limit: self.config.max_events,
+                        diagnosis: self.deadlock_report().map(Box::new),
+                    });
+                }
+                continue;
+            }
+            let consumed = if let Some(ev) = self.kernel.queue.pop_at_or_before(horizon) {
+                self.step_delta(ev)
+            } else {
+                break;
+            };
             // Profiling: sample queue occupancy once every 64 deltas.
             // Singleton-delta workloads (free-running oscillators) pop
             // millions of one-event deltas, so the steady-state loop
@@ -996,7 +1347,7 @@ impl Simulator {
                     self.queue_peak = depth;
                 }
             }
-            processed += self.step_delta(ev);
+            processed += consumed;
             if processed > self.config.max_events {
                 self.events_processed += processed;
                 self.wall += wall_start.elapsed();
@@ -1109,6 +1460,166 @@ impl Simulator {
         consumed
     }
 
+    /// Processes a maximal run of compiled-calendar deltas: at each
+    /// delta, commits every calendar entry due at the earliest
+    /// calendar timestamp, then evaluates each component in the
+    /// combined fanout once. The commit path is the same core as
+    /// queued drives ([`Simulator::commit_signal`]) — epoch-validated,
+    /// inertial, toggle- and trace-accounted — only the scheduling
+    /// container differs. Returns the number of calendar entries
+    /// consumed (they count against the event budget exactly like
+    /// queued events: every push is matched by one pop in both
+    /// engines, so the `events` profile counter stays comparable
+    /// across modes).
+    ///
+    /// The batch keeps going while the next calendar timestamp stays
+    /// at or ahead of the global queue's — the same calendar-first
+    /// merge rule as [`Simulator::run_until`], hoisted into a tight
+    /// loop. Compiled evaluations only ever touch the calendar, so
+    /// the queue bound is a loop invariant that needs refreshing only
+    /// after a *dynamic* evaluation (a state cell, monitor or
+    /// environment model in a compiled signal's fanout), the one step
+    /// that can push global events. Stops once `cap` entries have
+    /// been consumed so a runaway netlist still trips the caller's
+    /// event budget.
+    fn step_calendar_batch(&mut self, horizon: Time, cap: u64) -> u64 {
+        let mut consumed: u64 = 0;
+        let mut queue_bound = self.kernel.queue.peek_time();
+        let mut queue_len = self.kernel.queue.len();
+        while consumed < cap {
+            let Some(t) = self.compiled.as_ref().and_then(Compiled::peek_time) else {
+                break;
+            };
+            if t > horizon || queue_bound.is_some_and(|qt| t > qt) {
+                break;
+            }
+            // Same tie-break as `run_until`: a queued non-drive due at
+            // `t` precedes the calendar's commits (its seq is older),
+            // so the batch hands control back for that delta.
+            if queue_bound == Some(t) && !self.kernel.queue.due_is_drive(t) {
+                break;
+            }
+            self.kernel.now = t;
+            debug_assert!(self.pending_evals.is_empty());
+            let entry = self
+                .compiled
+                .as_mut()
+                .expect("peeked above")
+                .pop_at(t)
+                .expect("front entry is at t");
+            consumed += 1;
+            // A queued drive due at this same femtosecond (a dynamic
+            // cell's in-flight commit) must join this delta: in the
+            // interpreted kernel it would have shared one batch with
+            // the calendar commits and landed before any fanout ran.
+            // Leaving it buried would let the fanout evaluation below
+            // re-drive the cell against the stale value, inertially
+            // cancelling a commit that was already due *now*.
+            let queued_drive = self.kernel.queue.pop_leading_drive_at(t);
+            if queued_drive.is_some()
+                || self.compiled.as_ref().expect("active").peek_time() == Some(t)
+            {
+                // Several commits share this timestamp: batch them
+                // under one delta with stamp-deduplicated fanout.
+                let delta = self.delta_seq;
+                self.delta_seq += 1;
+                self.commit_signal(t, entry.signal, entry.epoch, delta);
+                while let Some(e) =
+                    self.compiled.as_mut().expect("active").pop_at(t)
+                {
+                    consumed += 1;
+                    self.commit_signal(t, e.signal, e.epoch, delta);
+                }
+                let mut qd = queued_drive;
+                while let Some(ev) = qd {
+                    consumed += 1;
+                    self.commit_drive(ev, delta);
+                    qd = self.kernel.queue.pop_leading_drive_at(t);
+                }
+                let mut i = 0;
+                while i < self.pending_evals.len() {
+                    let comp = self.pending_evals[i];
+                    i += 1;
+                    self.eval(comp, false);
+                }
+                self.pending_evals.clear();
+            } else {
+                // Singleton delta — the overwhelming majority — skips
+                // the dedup stamps like `commit_drive_lone`.
+                self.commit_calendar_lone(t, entry);
+            }
+            // Per-delta profiling, same cadence as the queue path.
+            self.deltas += 1;
+            if self.deltas & 0x3F == 0 {
+                let depth = self.kernel.queue.len();
+                self.queue_samples += 1;
+                self.queue_depth_sum += depth as u64;
+                if depth > self.queue_peak {
+                    self.queue_peak = depth;
+                }
+            }
+            // Compiled evaluations only touch the calendar; the queue
+            // bound can only move when a dynamic evaluation pushed a
+            // global event, which is visible as a queue growth.
+            let len_now = self.kernel.queue.len();
+            if len_now != queue_len {
+                queue_len = len_now;
+                queue_bound = self.kernel.queue.peek_time();
+            }
+        }
+        consumed
+    }
+
+    /// [`Simulator::step_calendar_batch`]'s singleton-delta commit:
+    /// the calendar analogue of [`Simulator::commit_drive_lone`] —
+    /// with a single committed signal the dedup stamps cannot reject
+    /// anything, so the fanout is evaluated directly.
+    fn commit_calendar_lone(&mut self, time: Time, entry: crate::compile::CalEntry) {
+        let kernel = &mut self.kernel;
+        let st = &mut kernel.signals[entry.signal.index()];
+        if entry.epoch != st.drive_epoch {
+            return; // superseded (inertial cancellation)
+        }
+        st.pending = false;
+        let value = st.pending_value;
+        if st.value == value {
+            return;
+        }
+        let toggles = st.value.toggles_to(&value);
+        st.toggles += toggles as u64;
+        let old = st.value;
+        st.value = value;
+        st.last_change = time;
+        kernel.commits += 1;
+        if let Some(c) = &mut self.compiled {
+            c.values[entry.signal.index()] = value;
+        }
+        if let Some(sink) = &mut kernel.trace {
+            sink.record(&TraceRecord { time, signal: entry.signal, old, new: value });
+        }
+        // The sliced hook must run before fanout evaluation: the
+        // lane-parallel evaluators read this commit's planes.
+        if let &[comp] = st.fanout.as_slice() {
+            if self.kernel.sliced.is_some() {
+                self.kernel.slice_commit(time, entry.signal, &old, &value, None);
+            }
+            self.eval(comp, false);
+        } else {
+            debug_assert!(self.pending_evals.is_empty());
+            self.pending_evals.extend_from_slice(&st.fanout);
+            if self.kernel.sliced.is_some() {
+                self.kernel.slice_commit(time, entry.signal, &old, &value, None);
+            }
+            let mut i = 0;
+            while i < self.pending_evals.len() {
+                let comp = self.pending_evals[i];
+                i += 1;
+                self.eval(comp, false);
+            }
+            self.pending_evals.clear();
+        }
+    }
+
     /// Applies one drive event: commits the value change (toggles,
     /// energy, trace) and queues the signal's fanout for evaluation,
     /// skipping components already queued in this delta.
@@ -1116,6 +1627,14 @@ impl Simulator {
         let EventKind::Drive { signal, epoch } = ev.kind else {
             unreachable!("commit_drive on non-drive event");
         };
+        self.commit_signal(ev.time, signal, epoch, delta);
+    }
+
+    /// The shared commit core behind queued drives and compiled
+    /// calendar entries: epoch-validate, commit the pending value,
+    /// account toggles and trace, stamp-dedup the fanout into the
+    /// pending-evaluation list.
+    fn commit_signal(&mut self, time: Time, signal: SignalId, epoch: u64, delta: u64) {
         let kernel = &mut self.kernel;
         let st = &mut kernel.signals[signal.index()];
         if epoch != st.drive_epoch {
@@ -1132,13 +1651,16 @@ impl Simulator {
         st.toggles += toggles as u64;
         let old = st.value;
         st.value = value;
-        st.last_change = ev.time;
+        st.last_change = time;
         kernel.commits += 1;
+        if let Some(c) = &mut self.compiled {
+            c.values[signal.index()] = value;
+        }
         // Switching energy is *not* accumulated here: it is derived
         // lazily from the toggle counter (see `scope_energies_fj`),
         // keeping f64 traffic off the commit hot path.
         if let Some(sink) = &mut kernel.trace {
-            sink.record(&TraceRecord { time: ev.time, signal, old, new: value });
+            sink.record(&TraceRecord { time, signal, old, new: value });
         }
         for &comp in &st.fanout {
             let stamp = &mut kernel.comp_stamp[comp.index()];
@@ -1146,6 +1668,11 @@ impl Simulator {
                 *stamp = delta;
                 self.pending_evals.push(comp);
             }
+        }
+        // Fanout evaluation happens after every commit of this delta,
+        // so the planes are in place before any evaluator reads them.
+        if self.kernel.sliced.is_some() {
+            self.kernel.slice_commit(time, signal, &old, &value, None);
         }
     }
 
@@ -1177,17 +1704,41 @@ impl Simulator {
         st.value = value;
         st.last_change = ev.time;
         kernel.commits += 1;
+        if let Some(c) = &mut self.compiled {
+            c.values[signal.index()] = value;
+        }
         if let Some(sink) = &mut kernel.trace {
             sink.record(&TraceRecord { time: ev.time, signal, old, new: value });
         }
         if let &[comp] = st.fanout.as_slice() {
+            // Sliced hook before evaluation: the lane-parallel
+            // evaluator reads this commit's planes.
+            if self.kernel.sliced.is_some() {
+                self.kernel.slice_commit(ev.time, signal, &old, &value, None);
+            }
             self.eval(comp, false);
         } else {
             self.pending_evals.extend_from_slice(&st.fanout);
+            if self.kernel.sliced.is_some() {
+                self.kernel.slice_commit(ev.time, signal, &old, &value, None);
+            }
         }
     }
 
     fn eval(&mut self, comp: ComponentId, wake: bool) {
+        // Compiled components short-circuit the dynamic dispatch:
+        // their spec is evaluated directly and the resulting drive
+        // lands on the compiled calendar, not the global queue. (A
+        // compiled cell never schedules wakes, so the wake path cannot
+        // reach a member.)
+        if !wake {
+            if let Some(compiled) = &self.compiled {
+                if compiled.is_member(comp) {
+                    self.eval_compiled(comp);
+                    return;
+                }
+            }
+        }
         // `comps` and `kernel` are disjoint fields, and a component
         // only sees the kernel through its `Ctx` — it can never reach
         // back into the component list — so the component can be
@@ -1199,6 +1750,81 @@ impl Simulator {
         } else {
             boxed.on_input(&mut ctx);
         }
+    }
+
+    /// Evaluates a compiled combinational component: computes the spec
+    /// over the committed input values and applies the *identical*
+    /// inertial-drive protocol as [`Ctx::drive`] — fault transform,
+    /// no-op skip rules, epoch bump — except the in-flight drive is
+    /// scheduled on the compiled calendar instead of the global queue.
+    fn eval_compiled(&mut self, comp: ComponentId) {
+        let compiled = self.compiled.as_mut().expect("caller checked membership");
+        compiled.cone_evals += 1;
+        let node = compiled.node(comp);
+        let value = node.eval(&compiled.values, compiled.pool());
+        let out = node.out;
+        // Lane twin: advance every campaign lane through the same
+        // function the carrier just evaluated. The inertial skip rules
+        // below double as the per-lane divergence probes.
+        let mut plane = self
+            .kernel
+            .sliced
+            .as_ref()
+            .map(|sl| node.eval_lanes(|s| sl.read_plane(s, &compiled.values), compiled.pool()));
+        let kernel = &mut self.kernel;
+        // Fault hook, identical to `Ctx::drive`: perturb the delay or
+        // discard the drive entirely (stuck-at target).
+        let delay = match &kernel.fault {
+            None => node.delay,
+            Some(fault) => match fault.transform(comp, out, kernel.now, node.delay) {
+                Some(d) => d,
+                None => return,
+            },
+        };
+        let state = &mut kernel.signals[out.index()];
+        debug_assert_eq!(
+            state.driver,
+            Some(comp),
+            "compiled component {:?} drove signal '{}' without being its registered driver",
+            comp,
+            state.name
+        );
+        debug_assert_eq!(
+            state.width,
+            value.width(),
+            "signal '{}' has width {} but was driven with width {}",
+            state.name,
+            state.width,
+            value.width()
+        );
+        // The inertial no-op skip rules of `Ctx::drive`, verbatim.
+        // When a sliced pass is active, each skip doubles as a probe:
+        // lanes whose lane-parallel result differs from what the
+        // carrier compared against would *not* have skipped in their
+        // scalar run, and diverge.
+        if state.pending {
+            if state.pending_value == value {
+                if let (Some(sl), Some(p)) = (kernel.sliced.as_mut(), &plane) {
+                    sl.note_skip(out, p, true, &state.pending_value);
+                }
+                return;
+            }
+        } else if state.value == value {
+            if let (Some(sl), Some(p)) = (kernel.sliced.as_mut(), &plane) {
+                sl.note_skip(out, p, false, &state.value);
+            }
+            return;
+        }
+        if let Some(sl) = kernel.sliced.as_mut() {
+            let superseded = if state.pending { Some(state.pending_value) } else { None };
+            sl.note_drive(out, plane.take().expect("sliced pass computes planes"), superseded.as_ref());
+        }
+        state.drive_epoch += 1;
+        state.pending = true;
+        state.pending_value = value;
+        let epoch = state.drive_epoch;
+        let t = kernel.now + delay;
+        compiled.push(t, out, epoch);
     }
 }
 

@@ -105,6 +105,21 @@ pub struct SimProfile {
     pub wall: std::time::Duration,
     /// Simulation time at the snapshot.
     pub sim_time: Time,
+    /// Weakly-connected compiled combinational regions built by
+    /// [`Simulator::compile`](crate::Simulator::compile) (0 when
+    /// running interpreted).
+    pub cones_built: u64,
+    /// Compiled spec evaluations performed (0 when interpreted).
+    pub cone_evals: u64,
+    /// Global-queue events avoided by scheduling compiled drives on
+    /// the private calendar instead (0 when interpreted).
+    pub events_avoided: u64,
+    /// Lanes carried by the last bit-sliced campaign pass (0 outside
+    /// sliced campaigns).
+    pub lanes_active: u64,
+    /// Lanes the last bit-sliced campaign pass demoted to scalar
+    /// replay because their timing diverged from the carrier.
+    pub scalar_fallbacks: u64,
 }
 
 impl SimProfile {

@@ -83,13 +83,25 @@ impl Value {
     /// Maximum supported bus width.
     pub const MAX_WIDTH: u8 = 64;
 
-    fn mask(width: u8) -> u64 {
+    /// The bit mask covering exactly `width` low bits — the invariant
+    /// mask every [`Value`] keeps its `bits`/`x` words confined to.
+    ///
+    /// Exposed so lane-packing code (the bit-sliced campaign engine)
+    /// and fault-plan resolution share one definition instead of
+    /// re-deriving `(1 << width) - 1` with its own 64-bit edge case.
+    #[inline]
+    pub fn width_mask(width: u8) -> u64 {
         debug_assert!((1..=64).contains(&width));
         if width == 64 {
             u64::MAX
         } else {
             (1u64 << width) - 1
         }
+    }
+
+    #[inline]
+    fn mask(width: u8) -> u64 {
+        Self::width_mask(width)
     }
 
     /// An all-zero value of the given width.
@@ -381,6 +393,410 @@ impl From<Logic> for Value {
     }
 }
 
+/// Up to 64 independent lane values of one signal, stored *bit-sliced*:
+/// plane `b` holds bit `b` of every lane, one lane per plane bit. This
+/// is the storage layout of the bit-sliced campaign engine — a bitwise
+/// gate evaluated once per plane advances all lanes in parallel.
+///
+/// Planes mirror the [`Value`] invariant: only the low [`LaneValues::lanes`]
+/// bits of each plane word are meaningful, and [`LaneValues::unpack`]
+/// re-masks through [`Value`] constructors so garbage can never leak
+/// out of dead lanes or out of bits above the signal width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneValues {
+    /// Known-one planes: `ones[b]` bit `k` set iff lane `k` bit `b` is 1.
+    ones: Vec<u64>,
+    /// Unknown planes: `xs[b]` bit `k` set iff lane `k` bit `b` is X.
+    xs: Vec<u64>,
+    width: u8,
+    lanes: u8,
+}
+
+impl LaneValues {
+    /// Maximum number of lanes (one per plane bit).
+    pub const MAX_LANES: u8 = 64;
+
+    /// All lanes carrying the same value (the carrier broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or greater than 64.
+    pub fn broadcast(v: &Value, lanes: u8) -> LaneValues {
+        assert!((1..=64).contains(&lanes), "lanes must be 1..=64");
+        let lane_mask = Value::width_mask(lanes);
+        let width = v.width();
+        let mut ones = vec![0u64; width as usize];
+        let mut xs = vec![0u64; width as usize];
+        for b in 0..width {
+            if v.raw_bits() >> b & 1 == 1 {
+                ones[b as usize] = lane_mask;
+            }
+            if v.x_mask() >> b & 1 == 1 {
+                xs[b as usize] = lane_mask;
+            }
+        }
+        LaneValues { ones, xs, width, lanes }
+    }
+
+    /// Packs one [`Value`] per lane into planes. All values must share
+    /// one width; `values.len()` sets the lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty, longer than 64, or mixes widths.
+    pub fn pack(values: &[Value]) -> LaneValues {
+        assert!(
+            (1..=64).contains(&values.len()),
+            "lane count must be 1..=64, got {}",
+            values.len()
+        );
+        let width = values[0].width();
+        let mut lv = LaneValues::broadcast(&Value::zero(width), values.len() as u8);
+        for (k, v) in values.iter().enumerate() {
+            assert_eq!(v.width(), width, "lane {k} width mismatch");
+            lv.set_lane(k as u8, v);
+        }
+        lv
+    }
+
+    /// The signal width in bits.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The number of packed lanes.
+    pub fn lanes(&self) -> u8 {
+        self.lanes
+    }
+
+    /// Extracts lane `k` back into a [`Value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= lanes`.
+    pub fn unpack(&self, k: u8) -> Value {
+        assert!(k < self.lanes, "lane {k} out of {}", self.lanes);
+        let mut bits = 0u64;
+        let mut x = 0u64;
+        for b in 0..self.width {
+            bits |= (self.ones[b as usize] >> k & 1) << b;
+            x |= (self.xs[b as usize] >> k & 1) << b;
+        }
+        // Re-mask on the way out: an X bit is never simultaneously a
+        // known 1, and nothing survives above the width.
+        let m = Value::width_mask(self.width);
+        let x = x & m;
+        Value { width: self.width, bits: bits & m & !x, x }
+    }
+
+    /// Overwrites lane `k` with `v` (same width as the planes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= lanes` or widths mismatch.
+    pub fn set_lane(&mut self, k: u8, v: &Value) {
+        assert!(k < self.lanes, "lane {k} out of {}", self.lanes);
+        assert_eq!(v.width(), self.width, "lane width mismatch");
+        let bit = 1u64 << k;
+        for b in 0..self.width {
+            let one = v.raw_bits() >> b & 1 == 1;
+            let x = v.x_mask() >> b & 1 == 1;
+            set_plane_bit(&mut self.ones[b as usize], bit, one && !x);
+            set_plane_bit(&mut self.xs[b as usize], bit, x);
+        }
+    }
+
+    /// XORs `mask` into the known bits of the lanes selected by
+    /// `lane_sel` (bit `k` of `lane_sel` selects lane `k`); X bits stay
+    /// X. This is the per-lane glitch-injection primitive.
+    pub fn xor_lanes(&mut self, mask: u64, lane_sel: u64) {
+        let lane_sel = lane_sel & Value::width_mask(self.lanes);
+        let mask = mask & Value::width_mask(self.width);
+        for b in 0..self.width {
+            if mask >> b & 1 == 1 {
+                // Flip only where the bit is known.
+                self.ones[b as usize] ^= lane_sel & !self.xs[b as usize];
+            }
+        }
+    }
+
+    /// True when every lane holds the same value (bitwise, X included).
+    pub fn all_equal(&self) -> bool {
+        let lane_mask = Value::width_mask(self.lanes);
+        for b in 0..self.width {
+            for plane in [self.ones[b as usize], self.xs[b as usize]] {
+                let p = plane & lane_mask;
+                if p != 0 && p != lane_mask {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The set of lanes (as a bit mask) whose value differs from lane
+    /// `k`'s — the divergence probe of the sliced campaign engine.
+    pub fn lanes_differing_from(&self, k: u8) -> u64 {
+        assert!(k < self.lanes, "lane {k} out of {}", self.lanes);
+        let lane_mask = Value::width_mask(self.lanes);
+        let mut diff = 0u64;
+        for b in 0..self.width {
+            for plane in [self.ones[b as usize], self.xs[b as usize]] {
+                let refbit = if plane >> k & 1 == 1 { lane_mask } else { 0 };
+                diff |= (plane ^ refbit) & lane_mask;
+            }
+        }
+        diff
+    }
+
+    /// Read-only plane access for lane-parallel gate evaluation:
+    /// `(ones, xs)` of bit `b`.
+    pub fn plane(&self, b: u8) -> (u64, u64) {
+        (self.ones[b as usize], self.xs[b as usize])
+    }
+
+    /// Builds lane planes directly from per-bit `(ones, xs)` plane
+    /// words (the output path of lane-parallel gate evaluation). Plane
+    /// words are masked to the lane count; an X plane bit clears the
+    /// corresponding ones bit, preserving the "X is never also a
+    /// known 1" invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane slices are empty, longer than 64 or of
+    /// unequal length, or `lanes` is out of range.
+    pub fn from_planes(ones: &[u64], xs: &[u64], lanes: u8) -> LaneValues {
+        assert!((1..=64).contains(&ones.len()), "width must be 1..=64");
+        assert_eq!(ones.len(), xs.len(), "plane slices must match");
+        assert!((1..=64).contains(&lanes), "lanes must be 1..=64");
+        let lane_mask = Value::width_mask(lanes);
+        let width = ones.len() as u8;
+        let mut o = Vec::with_capacity(ones.len());
+        let mut x = Vec::with_capacity(xs.len());
+        for (&pb, &px) in ones.iter().zip(xs) {
+            let px = px & lane_mask;
+            o.push(pb & lane_mask & !px);
+            x.push(px);
+        }
+        LaneValues { ones: o, xs: x, width, lanes }
+    }
+}
+
+/// Lane-parallel mirrors of the scalar [`Value`] operators. Each
+/// method computes, for every lane `k`, exactly what the scalar op
+/// would produce from that lane's unpacked values — the formulas are
+/// the [`Value`] ones applied per bit-plane, with the *lane* mask
+/// playing the role the *width* mask plays in the scalar algebra
+/// (a plane word indexes lanes where a value word indexes bits).
+/// `unpack(op_lanes(..), k) == op(unpack(.., k), ..)` is the
+/// equivalence the sliced campaign engine rests on, and is what the
+/// tests below check.
+impl LaneValues {
+    fn check_like(&self, other: &LaneValues) {
+        assert_eq!(self.width, other.width, "width mismatch in lane op");
+        assert_eq!(self.lanes, other.lanes, "lane count mismatch in lane op");
+    }
+
+    /// Lane-parallel [`Value::not`].
+    pub fn not(&self) -> LaneValues {
+        let lm = Value::width_mask(self.lanes);
+        let mut out = self.clone();
+        for b in 0..self.width as usize {
+            out.ones[b] = !self.ones[b] & lm & !self.xs[b];
+            out.xs[b] = self.xs[b] & lm;
+        }
+        out
+    }
+
+    /// Lane-parallel [`Value::and`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on width or lane-count mismatch.
+    pub fn and(&self, other: &LaneValues) -> LaneValues {
+        self.check_like(other);
+        let lm = Value::width_mask(self.lanes);
+        let mut out = self.clone();
+        for b in 0..self.width as usize {
+            let (oa, xa) = (self.ones[b], self.xs[b]);
+            let (ob, xb) = (other.ones[b], other.xs[b]);
+            let zero_a = !oa & !xa;
+            let zero_b = !ob & !xb;
+            let x = (xa | xb) & !(zero_a | zero_b) & lm;
+            out.ones[b] = oa & ob & !x;
+            out.xs[b] = x;
+        }
+        out
+    }
+
+    /// Lane-parallel [`Value::or`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on width or lane-count mismatch.
+    pub fn or(&self, other: &LaneValues) -> LaneValues {
+        self.check_like(other);
+        let lm = Value::width_mask(self.lanes);
+        let mut out = self.clone();
+        for b in 0..self.width as usize {
+            let (oa, xa) = (self.ones[b], self.xs[b]);
+            let (ob, xb) = (other.ones[b], other.xs[b]);
+            let one_a = oa & !xa;
+            let one_b = ob & !xb;
+            let x = (xa | xb) & !(one_a | one_b) & lm;
+            out.ones[b] = (oa | ob | one_a | one_b) & !x & lm;
+            out.xs[b] = x;
+        }
+        out
+    }
+
+    /// Lane-parallel [`Value::xor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on width or lane-count mismatch.
+    pub fn xor(&self, other: &LaneValues) -> LaneValues {
+        self.check_like(other);
+        let lm = Value::width_mask(self.lanes);
+        let mut out = self.clone();
+        for b in 0..self.width as usize {
+            let x = (self.xs[b] | other.xs[b]) & lm;
+            out.ones[b] = (self.ones[b] ^ other.ones[b]) & !x & lm;
+            out.xs[b] = x;
+        }
+        out
+    }
+
+    /// Lane-parallel [`Value::mux`]: each lane selects with *its own*
+    /// select bit, so lanes with known selects pass data through while
+    /// lanes with an X select get the X-pessimistic merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`/`b` differ in shape or `sel` is not 1 bit wide.
+    pub fn mux(sel: &LaneValues, a: &LaneValues, b: &LaneValues) -> LaneValues {
+        a.check_like(b);
+        assert_eq!(sel.width, 1, "mux select must be 1 bit");
+        assert_eq!(sel.lanes, a.lanes, "lane count mismatch in lane op");
+        let lm = Value::width_mask(a.lanes);
+        let sel1 = sel.ones[0] & !sel.xs[0];
+        let sel0 = !sel.ones[0] & !sel.xs[0];
+        let selx = sel.xs[0];
+        let mut out = a.clone();
+        for bit in 0..a.width as usize {
+            let (oa, xa) = (a.ones[bit], a.xs[bit]);
+            let (ob, xb) = (b.ones[bit], b.xs[bit]);
+            let agree = !(oa ^ ob) & !xa & !xb;
+            let x = ((xa & sel0) | (xb & sel1) | (selx & !agree)) & lm;
+            out.ones[bit] = ((oa & sel0) | (ob & sel1) | (selx & agree & oa)) & !x & lm;
+            out.xs[bit] = x;
+        }
+        out
+    }
+
+    /// Lane-parallel [`Value::slice`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds this value's width or `width` is 0.
+    pub fn slice(&self, lo: u8, width: u8) -> LaneValues {
+        assert!(width >= 1, "slice width must be at least 1");
+        assert!(
+            lo.checked_add(width).is_some_and(|hi| hi <= self.width),
+            "slice out of range"
+        );
+        let lo = lo as usize;
+        let hi = lo + width as usize;
+        LaneValues {
+            ones: self.ones[lo..hi].to_vec(),
+            xs: self.xs[lo..hi].to_vec(),
+            width,
+            lanes: self.lanes,
+        }
+    }
+
+    /// Lane-parallel [`Value::concat`] (`self` occupies the low bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 64 or lane counts differ.
+    pub fn concat(&self, hi: &LaneValues) -> LaneValues {
+        assert_eq!(self.lanes, hi.lanes, "lane count mismatch in lane op");
+        let w = self
+            .width
+            .checked_add(hi.width)
+            .filter(|&w| w <= 64)
+            .expect("concatenated width exceeds 64");
+        let mut ones = Vec::with_capacity(w as usize);
+        let mut xs = Vec::with_capacity(w as usize);
+        ones.extend_from_slice(&self.ones);
+        ones.extend_from_slice(&hi.ones);
+        xs.extend_from_slice(&self.xs);
+        xs.extend_from_slice(&hi.xs);
+        LaneValues { ones, xs, width: w, lanes: self.lanes }
+    }
+
+    /// Spreads a 1-bit lane set across `width` bits — the
+    /// lane-parallel analogue of the interpreted gate's 1-bit-to-word
+    /// input broadcast (a lane's known 0 becomes all-zeros, known 1
+    /// all-ones, X all-X).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this value is not 1 bit wide.
+    pub fn broadcast_to(&self, width: u8) -> LaneValues {
+        assert_eq!(self.width, 1, "broadcast_to requires a 1-bit lane set");
+        LaneValues {
+            ones: vec![self.ones[0]; width as usize],
+            xs: vec![self.xs[0]; width as usize],
+            width,
+            lanes: self.lanes,
+        }
+    }
+
+    /// The set of lanes (as a bit mask) whose value differs between
+    /// `self` and `other`, bitwise with X included.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width or lane-count mismatch.
+    pub fn lanes_ne(&self, other: &LaneValues) -> u64 {
+        self.check_like(other);
+        let mut diff = 0u64;
+        for b in 0..self.width as usize {
+            diff |= (self.ones[b] ^ other.ones[b]) | (self.xs[b] ^ other.xs[b]);
+        }
+        diff & Value::width_mask(self.lanes)
+    }
+
+    /// The set of lanes whose value differs from the scalar `v` — the
+    /// cheap form of [`LaneValues::lanes_ne`] against a broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn lanes_ne_value(&self, v: &Value) -> u64 {
+        assert_eq!(v.width(), self.width, "width mismatch in lane op");
+        let lm = Value::width_mask(self.lanes);
+        let mut diff = 0u64;
+        for b in 0..self.width {
+            let refo = if v.raw_bits() >> b & 1 == 1 { lm } else { 0 };
+            let refx = if v.x_mask() >> b & 1 == 1 { lm } else { 0 };
+            diff |= (self.ones[b as usize] ^ refo) | (self.xs[b as usize] ^ refx);
+        }
+        diff & lm
+    }
+}
+
+#[inline]
+fn set_plane_bit(plane: &mut u64, bit: u64, on: bool) {
+    if on {
+        *plane |= bit;
+    } else {
+        *plane &= !bit;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,6 +959,193 @@ mod tests {
             assert_eq!(Value::from_logic(l).as_logic(), l);
             let v: Value = l.into();
             assert_eq!(v.as_logic(), l);
+        }
+    }
+
+    #[test]
+    fn width_mask_edge_widths() {
+        assert_eq!(Value::width_mask(1), 0b1);
+        assert_eq!(Value::width_mask(63), u64::MAX >> 1);
+        assert_eq!(Value::width_mask(64), u64::MAX);
+    }
+
+    /// Forces bit `b` of `v` to X (tests live inside the module, so
+    /// they may poke the planes directly).
+    fn set_x(v: &mut Value, b: u8) {
+        v.x |= 1u64 << b;
+        v.bits &= !(1u64 << b);
+    }
+
+    /// A deterministic per-lane value mixing known and X bits, with
+    /// deliberate garbage above the width that the constructors strip.
+    fn lane_sample(width: u8, k: u64) -> Value {
+        let bits = k.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left((k % 63) as u32);
+        let x = k.wrapping_mul(0xBF58_476D_1CE4_E5B9) & bits >> 1;
+        let mut v = Value::from_u64(width, bits);
+        for b in 0..width {
+            if x >> b & 1 == 1 {
+                set_x(&mut v, b);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn lane_pack_unpack_round_trips_at_edge_widths() {
+        for width in [1u8, 63, 64] {
+            for lanes in [1usize, 63, 64] {
+                let vals: Vec<Value> =
+                    (0..lanes as u64).map(|k| lane_sample(width, k)).collect();
+                let lv = LaneValues::pack(&vals);
+                assert_eq!(lv.width(), width);
+                assert_eq!(lv.lanes(), lanes as u8);
+                for (k, v) in vals.iter().enumerate() {
+                    let u = lv.unpack(k as u8);
+                    assert_eq!(&u, v, "width {width}, lanes {lanes}, lane {k}");
+                    // The masking invariant: nothing above the width,
+                    // no bit both X and known-1.
+                    assert_eq!(u.raw_bits() & !Value::width_mask(width), 0);
+                    assert_eq!(u.x_mask() & !Value::width_mask(width), 0);
+                    assert_eq!(u.raw_bits() & u.x_mask(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_broadcast_equalizes_and_set_lane_diverges() {
+        let v = lane_sample(63, 7);
+        let mut lv = LaneValues::broadcast(&v, 64);
+        assert!(lv.all_equal());
+        assert_eq!(lv.lanes_differing_from(0), 0);
+        assert_eq!(lv.unpack(63), v);
+        let w = lane_sample(63, 8);
+        assert_ne!(w, v);
+        lv.set_lane(5, &w);
+        assert!(!lv.all_equal());
+        assert_eq!(lv.lanes_differing_from(0), 1 << 5);
+        assert_eq!(lv.lanes_differing_from(5), !(1u64 << 5));
+        assert_eq!(lv.unpack(5), w);
+        assert_eq!(lv.unpack(4), v);
+    }
+
+    #[test]
+    fn lane_xor_flips_only_selected_known_bits() {
+        // Width 64, a known-zero value with one X bit: the xor must
+        // flip selected lanes' known bits and leave the X bit X.
+        let mut v = Value::zero(64);
+        set_x(&mut v, 63);
+        let mut lv = LaneValues::broadcast(&v, 64);
+        lv.xor_lanes(u64::MAX, 0b1010);
+        for k in [1u8, 3] {
+            let u = lv.unpack(k);
+            assert_eq!(u.raw_bits(), u64::MAX >> 1, "lane {k} known bits flip");
+            assert_eq!(u.x_mask(), 1 << 63, "lane {k} X stays X");
+        }
+        for k in [0u8, 2, 4, 63] {
+            assert_eq!(lv.unpack(k), v, "unselected lane {k} untouched");
+        }
+    }
+
+    /// A packed lane set of `lanes` deterministic sample values.
+    fn lane_set(width: u8, lanes: u8, salt: u64) -> LaneValues {
+        let vals: Vec<Value> =
+            (0..lanes).map(|k| lane_sample(width, salt ^ (k as u64 + 1))).collect();
+        LaneValues::pack(&vals)
+    }
+
+    #[test]
+    fn lane_ops_match_scalar_ops_per_lane() {
+        // The sliced engine's foundation: every lane-parallel operator
+        // must agree with the scalar Value op applied to each unpacked
+        // lane, X semantics included.
+        for &(width, lanes) in &[(1u8, 1u8), (1, 64), (7, 5), (32, 63), (64, 64)] {
+            let a = lane_set(width, lanes, 0x1111);
+            let b = lane_set(width, lanes, 0x2222);
+            for k in 0..lanes {
+                let (ak, bk) = (a.unpack(k), b.unpack(k));
+                assert_eq!(a.not().unpack(k), ak.not(), "not w{width} l{k}");
+                assert_eq!(a.and(&b).unpack(k), ak.and(&bk), "and w{width} l{k}");
+                assert_eq!(a.or(&b).unpack(k), ak.or(&bk), "or w{width} l{k}");
+                assert_eq!(a.xor(&b).unpack(k), ak.xor(&bk), "xor w{width} l{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_mux_selects_per_lane() {
+        // Lanes 0..: sel known-0, known-1, X — each lane must follow
+        // its own select, including the X-pessimistic merge.
+        let sels = [
+            Value::zero(1),
+            Value::one(1),
+            Value::all_x(1),
+            Value::one(1),
+            Value::all_x(1),
+        ];
+        let sel = LaneValues::pack(&sels);
+        let a = lane_set(16, 5, 0xAAAA);
+        let b = lane_set(16, 5, 0xBBBB);
+        let m = LaneValues::mux(&sel, &a, &b);
+        for k in 0..5 {
+            assert_eq!(
+                m.unpack(k),
+                Value::mux(&sels[k as usize], &a.unpack(k), &b.unpack(k)),
+                "mux lane {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_slice_concat_broadcast_match_scalar() {
+        let a = lane_set(24, 9, 0x3333);
+        let b = lane_set(8, 9, 0x4444);
+        for k in 0..9 {
+            assert_eq!(a.slice(5, 13).unpack(k), a.unpack(k).slice(5, 13));
+            assert_eq!(a.concat(&b).unpack(k), a.unpack(k).concat(&b.unpack(k)));
+        }
+        let bit = LaneValues::pack(&[Value::zero(1), Value::one(1), Value::all_x(1)]);
+        let wide = bit.broadcast_to(11);
+        assert_eq!(wide.unpack(0), Value::zero(11));
+        assert_eq!(wide.unpack(1), Value::ones(11));
+        assert_eq!(wide.unpack(2), Value::all_x(11));
+    }
+
+    #[test]
+    fn lanes_ne_and_ne_value_find_divergent_lanes() {
+        let v = lane_sample(16, 3);
+        let mut lv = LaneValues::broadcast(&v, 8);
+        assert_eq!(lv.lanes_ne(&lv.clone()), 0);
+        assert_eq!(lv.lanes_ne_value(&v), 0);
+        let w = lane_sample(16, 4);
+        lv.set_lane(6, &w);
+        assert_eq!(lv.lanes_ne_value(&v), 1 << 6);
+        let other = LaneValues::broadcast(&v, 8);
+        assert_eq!(lv.lanes_ne(&other), 1 << 6);
+        assert_eq!(other.lanes_ne(&lv), 1 << 6);
+    }
+
+    #[test]
+    fn lane_garbage_above_width_never_leaks() {
+        // from_planes with plane words full of garbage above the lane
+        // count: unpacked values must still honour the Value invariant
+        // (this is the masked-lane-garbage audit of the energy/toggle
+        // path — toggles_to on unpacked values must count real bits
+        // only).
+        for width in [1u8, 63, 64] {
+            let ones = vec![u64::MAX; width as usize];
+            let xs = vec![0xAAAA_AAAA_AAAA_AAAA; width as usize];
+            let lv = LaneValues::from_planes(&ones, &xs, 3);
+            for k in 0..3 {
+                let u = lv.unpack(k);
+                assert_eq!(u.raw_bits() & u.x_mask(), 0);
+                assert_eq!(u.raw_bits() & !Value::width_mask(width), 0);
+                let toggles = Value::zero(width).toggles_to(&u);
+                assert!(
+                    toggles <= width as u32,
+                    "width {width} lane {k}: {toggles} toggles from garbage"
+                );
+            }
         }
     }
 }

@@ -100,6 +100,12 @@ pub struct MeasureOptions {
     /// this to bound how much simulated work a wedged run may consume
     /// before the event-limit watchdog declares a deadlock.
     pub watchdog_horizon: Option<u64>,
+    /// Execute combinational cells through the compiled netlist engine
+    /// (default). Compiled runs are bit-identical to interpreted ones
+    /// — the golden-replay suite enforces it — so this is purely a
+    /// wall-clock knob; [`MeasureOptions::without_compile`] exists for
+    /// A/B measurements and for pinning down a suspected compiler bug.
+    pub compiled: bool,
 }
 
 impl Default for MeasureOptions {
@@ -114,6 +120,7 @@ impl Default for MeasureOptions {
             trace: TraceMode::Off,
             metrics: false,
             watchdog_horizon: None,
+            compiled: true,
         }
     }
 }
@@ -181,6 +188,19 @@ impl MeasureOptions {
     /// ```
     pub fn with_watchdog_horizon(mut self, events: u64) -> Self {
         self.watchdog_horizon = Some(events);
+        self
+    }
+
+    /// Keeps the run on the interpreted event loop (A/B baseline for
+    /// the compiled engine).
+    ///
+    /// ```
+    /// use sal_link::MeasureOptions;
+    /// assert!(MeasureOptions::default().compiled);
+    /// assert!(!MeasureOptions::default().without_compile().compiled);
+    /// ```
+    pub fn without_compile(mut self) -> Self {
+        self.compiled = false;
         self
     }
 }
@@ -470,6 +490,9 @@ pub fn run(
     }
     if let Some(limit) = opts.watchdog_horizon {
         sim.set_max_events(limit);
+    }
+    if opts.compiled {
+        sim.compile();
     }
     let probes = handles.recovery.as_ref().map(|taps| RecoveryProbes::attach(&mut sim, taps));
 

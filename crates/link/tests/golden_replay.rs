@@ -28,10 +28,10 @@ use std::fmt::Write as _;
 /// Energies are printed as `f64::to_bits` hex so the comparison is
 /// bit-exact, immune to formatting rounding.
 fn replay(kind: LinkKind) -> String {
-    replay_with(kind, true)
+    replay_with(kind, true, false)
 }
 
-fn replay_with(kind: LinkKind, empty_plan: bool) -> String {
+fn replay_with(kind: LinkKind, empty_plan: bool, compiled: bool) -> String {
     let cfg = LinkConfig::default();
     let opts = MeasureOptions::default();
     let words = worst_case_pattern(4, 32);
@@ -43,6 +43,9 @@ fn replay_with(kind: LinkKind, empty_plan: bool) -> String {
     // fault-free fast path, so the fixture stays byte-identical.
     if empty_plan {
         sim.apply_fault_plan(&sal_des::FaultPlan::new(42)).expect("empty plan applies");
+    }
+    if compiled {
+        assert!(sim.compile() > 0, "a link netlist has combinational cells to compile");
     }
     sim.stimulus(
         handles.rstn,
@@ -119,9 +122,26 @@ fn replay_is_deterministic_within_process() {
 fn empty_fault_plan_is_bit_identical_to_no_plan() {
     for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
         assert_eq!(
-            replay_with(kind, true),
-            replay_with(kind, false),
+            replay_with(kind, true, false),
+            replay_with(kind, false, false),
             "an empty FaultPlan must not perturb the kernel"
+        );
+    }
+}
+
+/// The tentpole equivalence gate: compiled execution must reproduce
+/// the interpreted kernel's observable state byte for byte — event
+/// count, every signal's final value and toggle count, every scope
+/// energy — on full I2 and I3 link runs. Anything the golden fixture
+/// pins for the interpreted kernel is thereby pinned for the compiled
+/// engine too.
+#[test]
+fn compiled_replay_is_bit_identical_to_interpreted() {
+    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        assert_eq!(
+            replay_with(kind, true, false),
+            replay_with(kind, true, true),
+            "compiled execution diverged from interpreted on {kind:?}"
         );
     }
 }
