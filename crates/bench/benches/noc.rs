@@ -14,6 +14,7 @@ fn bench_mesh(c: &mut Criterion) {
                     link: LinkModel::ideal(),
                     input_queue_flits: 8,
                     packet_len_flits: 4,
+                    faults: None,
                 };
                 let mut net = Network::new(cfg, TrafficPattern::UniformRandom, rate, 5);
                 net.run(2_000, 500).delivered_flits

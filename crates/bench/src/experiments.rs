@@ -422,6 +422,7 @@ pub fn noc_study() -> Vec<NocRow> {
             link: model,
             input_queue_flits: 8,
             packet_len_flits: 4,
+            faults: None,
         };
         let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 2024);
         let stats = net.run(6_000, 2_000);
@@ -470,6 +471,7 @@ pub fn noc_curves() -> Vec<CurvePoint> {
             link: model,
             input_queue_flits: 8,
             packet_len_flits: 4,
+            faults: None,
         };
         let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 4242);
         let stats = net.run(6_000, 2_000);

@@ -20,12 +20,16 @@
 //! | `experiments` | All of the above, in order |
 //! | `ablations` | Early-ack / slice-width / receiver-style / corner studies |
 //! | `margins` | Timing-margin / fault-injection sweep (robustness extension) |
+//! | `recovery` | Link-level error detection & retransmission chaos soak |
+//! | `flows` | End-to-end flows over lossy mesh channels (goodput-collapse curves) |
+//! | `compile` | Compiled-engine equivalence + bit-sliced seed campaigns |
 
 #![forbid(unsafe_code)]
 
 pub mod ablations;
 pub mod compile_report;
 pub mod experiments;
+pub mod flows;
 pub mod recovery;
 pub mod robustness;
 pub mod sliced;

@@ -22,16 +22,27 @@
 //!     link: LinkModel::ideal(),
 //!     input_queue_flits: 8,
 //!     packet_len_flits: 4,
+//!     faults: None,
 //! };
 //! let mut net = Network::new(cfg, TrafficPattern::UniformRandom, 0.1, 42);
 //! let stats = net.run(2_000, 500);
 //! assert!(stats.delivered_packets > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Beyond open-loop traffic, the crate models *lossy* channels
+//! ([`ChannelFaults`]: seeded i.i.d. or bursty Gilbert–Elliott error
+//! processes with a NACK/timeout/resync/degrade/fail escalation
+//! ladder) and *end-to-end flows* ([`FlowConfig`]: windowed senders
+//! with AIMD congestion control, cumulative acks riding the mesh, and
+//! a progress watchdog that names starved flows and stalled channels
+//! instead of hanging).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
+pub mod flow;
 mod link_model;
 mod network;
 mod packet;
@@ -40,10 +51,15 @@ mod stats;
 mod topology;
 mod traffic;
 
+pub use fault::{ChannelFaults, ChannelProtection, ErrorProcess, RecoveryCounts, RecoveryTotals};
+pub use flow::{
+    FlowConfig, FlowEngine, FlowId, FlowParams, FlowSpec, FlowStats, StallReport, StalledChannel,
+    StarvedFlow, WatchdogConfig, jain_index,
+};
 pub use link_model::LinkModel;
-pub use network::{Network, NetworkConfig};
+pub use network::{FlowNetReport, Network, NetworkConfig};
 pub use packet::{Flit, FlitKind, Packet, PacketId};
 pub use router::Router;
-pub use stats::NetworkStats;
+pub use stats::{LinkRecovery, NetworkStats};
 pub use topology::{Direction, Mesh, NodeId};
 pub use traffic::TrafficPattern;

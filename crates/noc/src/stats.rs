@@ -1,7 +1,25 @@
 //! Network measurement results.
 
+use crate::fault::{RecoveryCounts, RecoveryTotals};
+use crate::topology::{Direction, NodeId};
+
+/// Recovery counters of one channel, addressed by its upstream node
+/// and direction. Rows are emitted for *every* channel (all zeros on
+/// a quiet or loss-free channel) and sorted by `(node, direction)`,
+/// so two stats from identically-shaped networks always compare
+/// field-for-field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct LinkRecovery {
+    /// Upstream node of the channel.
+    pub node: NodeId,
+    /// Direction the channel points.
+    pub dir: Direction,
+    /// What happened on it.
+    pub counts: RecoveryCounts,
+}
+
 /// Aggregate statistics over the measurement phase of a network run.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
 pub struct NetworkStats {
     /// Measured cycles.
     pub cycles: u64,
@@ -17,10 +35,19 @@ pub struct NetworkStats {
     pub latency_sum: u64,
     /// Worst packet latency observed, cycles.
     pub latency_max: u64,
-    /// Per-packet latencies (for percentiles).
+    /// Per-packet latencies (for percentiles). Sorted ascending once
+    /// at the end of [`crate::Network::run`]; quantiles index into it
+    /// directly.
     pub latencies: Vec<u64>,
     /// Packets still in flight at the end (non-zero near saturation).
     pub in_flight: u64,
+    /// Packets ejected carrying an undetected payload corruption
+    /// (nonzero accumulated bit-flip mask from the lossy channels).
+    pub corrupt_packets: u64,
+    /// Per-channel recovery counters, sorted by `(node, direction)`.
+    pub link_recovery: Vec<LinkRecovery>,
+    /// Network-wide recovery totals.
+    pub recovery: RecoveryTotals,
 }
 
 impl NetworkStats {
@@ -32,7 +59,29 @@ impl NetworkStats {
         self.latency_sum as f64 / self.delivered_packets as f64
     }
 
+    /// Sorts the latency vector in place (called once at the end of a
+    /// run, so [`NetworkStats::latency_quantile`] can index directly).
+    pub(crate) fn finalize_latencies(&mut self) {
+        self.latencies.sort_unstable();
+    }
+
+    /// Recomputes `link_recovery`-derived totals (called at the end of
+    /// a run after the per-channel rows are collected).
+    pub(crate) fn finalize_recovery(&mut self) {
+        let mut totals = RecoveryTotals::default();
+        for row in &self.link_recovery {
+            totals.counts.absorb(&row.counts);
+            totals.failed_links += u64::from(row.counts.failed);
+        }
+        self.recovery = totals;
+    }
+
     /// The `p`-quantile latency (e.g. 0.95), cycles.
+    ///
+    /// The latency vector is sorted once when the run finishes, so
+    /// this is a pure index in the common case; a vector the caller
+    /// built or mutated out of order falls back to a one-off sorted
+    /// copy rather than returning a wrong quantile.
     ///
     /// # Panics
     ///
@@ -42,10 +91,14 @@ impl NetworkStats {
         if self.latencies.is_empty() {
             return 0;
         }
-        let mut v = self.latencies.clone();
-        v.sort_unstable();
-        let idx = ((v.len() - 1) as f64 * p).round() as usize;
-        v[idx]
+        let idx = ((self.latencies.len() - 1) as f64 * p).round() as usize;
+        if self.latencies.is_sorted() {
+            self.latencies[idx]
+        } else {
+            let mut v = self.latencies.clone();
+            v.sort_unstable();
+            v[idx]
+        }
     }
 
     /// Accepted throughput in flits per node per cycle.
@@ -61,9 +114,8 @@ impl NetworkStats {
 mod tests {
     use super::*;
 
-    #[test]
-    fn derived_metrics() {
-        let s = NetworkStats {
+    fn sample(latencies: Vec<u64>) -> NetworkStats {
+        NetworkStats {
             cycles: 1000,
             nodes: 16,
             offered_packets: 100,
@@ -71,9 +123,14 @@ mod tests {
             delivered_flits: 400,
             latency_sum: 2000,
             latency_max: 90,
-            latencies: (1..=100).collect(),
-            in_flight: 0,
-        };
+            latencies,
+            ..NetworkStats::default()
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = sample((1..=100).collect());
         assert!((s.avg_latency() - 20.0).abs() < 1e-9);
         assert!((s.throughput_fpnc() - 0.025).abs() < 1e-9);
         assert_eq!(s.latency_quantile(1.0), 100);
@@ -88,5 +145,55 @@ mod tests {
         assert!(s.avg_latency().is_nan());
         assert_eq!(s.throughput_fpnc(), 0.0);
         assert_eq!(s.latency_quantile(0.5), 0);
+    }
+
+    #[test]
+    fn repeated_quantile_calls_agree_sorted_or_not() {
+        // Deliberately unsorted: the fallback path must agree with the
+        // sorted fast path, and repeated calls must agree with each
+        // other (the old implementation re-cloned + re-sorted every
+        // call; the vector itself must also stay untouched).
+        let unsorted: Vec<u64> = (1..=100).rev().collect();
+        let mut s = sample(unsorted.clone());
+        for p in [0.0, 0.25, 0.5, 0.9, 0.95, 1.0] {
+            let a = s.latency_quantile(p);
+            let b = s.latency_quantile(p);
+            assert_eq!(a, b, "repeated calls at p={p}");
+        }
+        assert_eq!(s.latencies, unsorted, "quantile must not mutate the vector");
+        let slow: Vec<u64> = [0.0, 0.5, 1.0].iter().map(|&p| s.latency_quantile(p)).collect();
+        s.finalize_latencies();
+        assert!(s.latencies.is_sorted());
+        let fast: Vec<u64> = [0.0, 0.5, 1.0].iter().map(|&p| s.latency_quantile(p)).collect();
+        assert_eq!(slow, fast, "fallback and indexed paths must agree");
+    }
+
+    #[test]
+    fn recovery_totals_roll_up() {
+        let mut s = NetworkStats {
+            link_recovery: vec![
+                LinkRecovery {
+                    node: NodeId(0),
+                    dir: Direction::East,
+                    counts: RecoveryCounts { errors: 5, nacks: 4, replays: 4, ..Default::default() },
+                },
+                LinkRecovery {
+                    node: NodeId(1),
+                    dir: Direction::West,
+                    counts: RecoveryCounts { errors: 2, failed: true, ..Default::default() },
+                },
+                LinkRecovery {
+                    node: NodeId(2),
+                    dir: Direction::North,
+                    counts: RecoveryCounts::default(),
+                },
+            ],
+            ..Default::default()
+        };
+        s.finalize_recovery();
+        assert_eq!(s.recovery.counts.errors, 7);
+        assert_eq!(s.recovery.counts.nacks, 4);
+        assert_eq!(s.recovery.failed_links, 1);
+        assert!(s.recovery.counts.failed);
     }
 }

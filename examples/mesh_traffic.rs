@@ -44,6 +44,7 @@ fn main() {
                     link: model,
                     input_queue_flits: 8,
                     packet_len_flits: 4,
+                    faults: None,
                 };
                 let mut net = Network::new(cfg, pat, rate, 7);
                 let stats = net.run(8_000, 2_000);
