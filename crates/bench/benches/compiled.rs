@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sal_bench::sliced;
 use sal_cells::{CircuitBuilder, UnitLibrary};
 use sal_des::{Simulator, Time, Value};
-use sal_link::{run, LinkConfig, LinkKind, MeasureOptions};
+use sal_link::{run_spec, LinkConfig, LinkFamily, LinkSpec, MeasureOptions};
 
 /// Free-running ring oscillator: pure event-loop churn, every cell a
 /// member of one compiled cone.
@@ -67,14 +67,15 @@ fn fanout_bus(compiled: bool) -> u64 {
     sim.events_processed()
 }
 
-fn link_words(kind: LinkKind, compiled: bool, words: usize) -> usize {
+fn link_words(family: LinkFamily, compiled: bool, words: usize) -> usize {
     let opts = if compiled {
         MeasureOptions::default()
     } else {
         MeasureOptions::default().without_compile()
     };
     let words: Vec<u64> = (0..words as u64).map(|i| i.wrapping_mul(0x9e37_79b9) & 0xffff_ffff).collect();
-    let run = run(kind, &LinkConfig::default(), &words, &opts).expect("link run completes");
+    let run = run_spec(&LinkSpec::paper(family), &LinkConfig::default(), &words, &opts)
+        .expect("link run completes");
     run.received_words().len()
 }
 
@@ -90,13 +91,13 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
             b.iter(|| fanout_bus(e));
         });
         g.bench_with_input(BenchmarkId::new("i1_sync_64_words", engine), &compiled, |b, &e| {
-            b.iter(|| link_words(LinkKind::I1Sync, e, 64));
+            b.iter(|| link_words(LinkFamily::Sync, e, 64));
         });
         g.bench_with_input(BenchmarkId::new("i2_per_transfer_64_words", engine), &compiled, |b, &e| {
-            b.iter(|| link_words(LinkKind::I2PerTransfer, e, 64));
+            b.iter(|| link_words(LinkFamily::PerTransfer, e, 64));
         });
         g.bench_with_input(BenchmarkId::new("i3_per_word_64_words", engine), &compiled, |b, &e| {
-            b.iter(|| link_words(LinkKind::I3PerWord, e, 64));
+            b.iter(|| link_words(LinkFamily::PerWord, e, 64));
         });
     }
     g.finish();

@@ -5,16 +5,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sal_cells::CircuitBuilder;
 use sal_des::{Simulator, Time, Value};
 use sal_link::testbench::{attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource};
-use sal_link::{LinkConfig, LinkKind};
+use sal_link::{LinkConfig, LinkFamily};
 use sal_switch::{build_row_fabric, flit};
 use sal_tech::St012Library;
 
-fn run_fabric(kind: LinkKind) -> usize {
+fn run_fabric(family: LinkFamily) -> usize {
     let cfg = LinkConfig::default();
     let mut sim = Simulator::new();
     let lib = St012Library::default();
     let mut b = CircuitBuilder::new(&mut sim, &lib);
-    let f = build_row_fabric(&mut b, "fab", 3, kind, &cfg);
+    let f = build_row_fabric(&mut b, "fab", 3, family, &cfg);
     b.finish();
     for &r in &f.rstns {
         sim.stimulus(r, &[(Time::ZERO, Value::zero(1)), (Time::from_ns(2), Value::one(1))]);
@@ -41,10 +41,10 @@ fn run_fabric(kind: LinkKind) -> usize {
 fn bench_fabric(c: &mut Criterion) {
     let mut g = c.benchmark_group("fabric/3_switches_6_flits");
     g.sample_size(10);
-    for kind in [LinkKind::I1Sync, LinkKind::I3PerWord] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+    for family in [LinkFamily::Sync, LinkFamily::PerWord] {
+        g.bench_with_input(BenchmarkId::from_parameter(family.label()), &family, |b, &family| {
             b.iter(|| {
-                let delivered = run_fabric(kind);
+                let delivered = run_fabric(family);
                 assert_eq!(delivered, 6);
                 delivered
             });

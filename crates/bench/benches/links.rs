@@ -1,18 +1,23 @@
 //! Criterion benchmarks of full gate-level link transfers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sal_link::measure::{run, MeasureOptions};
+use sal_link::measure::{run_spec, MeasureOptions};
 use sal_link::testbench::worst_case_pattern;
-use sal_link::{LinkConfig, LinkKind};
+use sal_link::{LinkConfig, LinkFamily, LinkSpec};
 
 fn bench_links(c: &mut Criterion) {
     let mut g = c.benchmark_group("link/4flit_transfer");
     g.sample_size(10);
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+    for family in LinkFamily::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(family.label()), &family, |b, &family| {
+            let spec = LinkSpec::paper(family);
             let cfg = LinkConfig::default();
             let words = worst_case_pattern(4, 32);
-            b.iter(|| run(kind, &cfg, &words, &MeasureOptions::default()).expect("clean run").total_power_uw());
+            b.iter(|| {
+                run_spec(&spec, &cfg, &words, &MeasureOptions::default())
+                    .expect("clean run")
+                    .total_power_uw()
+            });
         });
     }
     g.finish();

@@ -3,9 +3,9 @@
 //! width, receiver datapath style, and technology corners.
 
 use sal_des::Time;
-use sal_link::measure::{run, MeasureOptions};
+use sal_link::measure::{run_spec, MeasureOptions};
 use sal_link::testbench::worst_case_pattern;
-use sal_link::{LinkConfig, LinkKind, WordRxStyle};
+use sal_link::{LinkConfig, LinkFamily, LinkSpec, WordRxStyle};
 use sal_tech::{Corner, St012Library};
 
 use crate::sweep::sweep_map;
@@ -26,8 +26,10 @@ fn saturation(cfg: &LinkConfig) -> f64 {
     // Overdrive with a 1 GHz switch clock; the link throttles to its
     // self-timed rate.
     let fast = LinkConfig { clk_period: Time::from_ps(1000), ..cfg.clone() };
+    let spec = LinkSpec::from_config(LinkFamily::PerWord, &fast)
+        .expect("every ablation point is a valid spec");
     let words: Vec<u64> = (0..24).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
-    let run = run(LinkKind::I3PerWord, &fast, &words, &MeasureOptions::default()).expect("clean run");
+    let run = run_spec(&spec, &fast, &words, &MeasureOptions::default()).expect("clean run");
     assert_eq!(run.received.len(), words.len(), "saturation run incomplete");
     run.throughput_mflits()
 }
@@ -61,20 +63,26 @@ pub struct SliceRow {
     pub power_uw: f64,
 }
 
-/// Wires vs. throughput vs. power across serialization factors.
+/// Wires vs. throughput vs. power across serialization factors
+/// (serial ratios 2:1, 4:1 and 8:1 over the 32-bit paper word).
 pub fn slice_width() -> Vec<SliceRow> {
-    sweep_map(vec![16u8, 8, 4], |slice_width| {
-        let cfg = LinkConfig { slice_width, ..LinkConfig::default() };
-        let power = run(
-            LinkKind::I3PerWord,
-            &cfg,
+    sweep_map(vec![2u8, 4, 8], |ratio| {
+        let spec = LinkSpec::builder()
+            .family(LinkFamily::PerWord)
+            .serial_ratio(ratio)
+            .build()
+            .expect("the ratio sweep stays inside the validated lattice");
+        let cfg = spec.apply(&LinkConfig::default());
+        let power = run_spec(
+            &spec,
+            &LinkConfig::default(),
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
         ).expect("clean run")
         .total_power_uw();
         SliceRow {
-            slice_width,
-            wires: cfg.wires_async(),
+            slice_width: spec.slice_width(),
+            wires: spec.wires(),
             saturation_mflits: saturation(&cfg),
             power_uw: power,
         }
@@ -99,8 +107,8 @@ pub struct RxStyleRow {
 pub fn rx_style() -> Vec<RxStyleRow> {
     sweep_map(vec![WordRxStyle::ShiftRegister, WordRxStyle::Demux], |style| {
         let cfg = LinkConfig { word_rx_style: style, ..LinkConfig::default() };
-        let run = run(
-            LinkKind::I3PerWord,
+        let run = run_spec(
+            &LinkSpec::paper(LinkFamily::PerWord),
             &cfg,
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
@@ -137,13 +145,16 @@ pub fn corners() -> Vec<CornerRow> {
             ..LinkConfig::default()
         };
         let words: Vec<u64> = (0..24).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
-        let i3 =
-            run(LinkKind::I3PerWord, &fast_cfg, &words, &opts).expect("clean run").throughput_mflits();
+        let i3 = run_spec(&LinkSpec::paper(LinkFamily::PerWord), &fast_cfg, &words, &opts)
+            .expect("clean run")
+            .throughput_mflits();
         let sync_cfg = LinkConfig {
             clk_period: Time::from_ns_f64(10.0 / 3.0),
             ..LinkConfig::default()
         };
-        let i1 = run(LinkKind::I1Sync, &sync_cfg, &words, &opts).expect("clean run").throughput_mflits();
+        let i1 = run_spec(&LinkSpec::paper(LinkFamily::Sync), &sync_cfg, &words, &opts)
+            .expect("clean run")
+            .throughput_mflits();
         CornerRow { corner, i3_saturation_mflits: i3, i1_mflits: i1 }
     })
 }

@@ -47,7 +47,7 @@ fn run_all() {
     for r in e::fig14() {
         println!(
             "  {}: serdes={:>4.0} buffers={:>4.0} conv={:>4.0} other={:>4.0} total={:>5.0}",
-            r.kind.label(),
+            r.family.label(),
             r.blocks.serdes_uw,
             r.blocks.buffers_uw,
             r.blocks.conv_uw,
@@ -58,7 +58,7 @@ fn run_all() {
     // Tables
     println!("\n--- Table 1: Link area (um2)");
     for r in e::table1() {
-        println!("  {}: {:.0}", r.kind.label(), r.area_um2);
+        println!("  {}: {:.0}", r.family.label(), r.area_um2);
     }
     println!("\n--- Table 2: I2 breakdown (um2)");
     let t2 = e::table2();
@@ -87,7 +87,7 @@ fn run_all() {
         .iter()
         .map(|r| {
             vec![
-                r.kind.label().into(),
+                r.family.label().into(),
                 format!("{:.0}", r.clk_mhz),
                 format!("{:.2}", r.offered),
                 format!("{:.3}", r.accepted),
@@ -103,18 +103,18 @@ fn run_all() {
 }
 
 fn print_power_rows(rows: &[sal_bench::experiments::PowerRow]) {
-    use sal_link::LinkKind;
+    use sal_link::LinkFamily;
     for buffers in sal_bench::experiments::BUFFER_SWEEP {
-        let p = |k: LinkKind| {
+        let p = |k: LinkFamily| {
             rows.iter()
-                .find(|r| r.kind == k && r.buffers == buffers)
+                .find(|r| r.family == k && r.buffers == buffers)
                 .map_or(f64::NAN, |r| r.power_uw)
         };
         println!(
             "  {buffers} buffers: I1={:>5.0} I2={:>5.0} I3={:>5.0}",
-            p(LinkKind::I1Sync),
-            p(LinkKind::I2PerTransfer),
-            p(LinkKind::I3PerWord)
+            p(LinkFamily::Sync),
+            p(LinkFamily::PerTransfer),
+            p(LinkFamily::PerWord)
         );
     }
 }

@@ -7,17 +7,17 @@ fn main() {
     let rows = experiments::fig13();
     let mut out = Vec::new();
     for buffers in experiments::BUFFER_SWEEP {
-        let p = |k: sal_link::LinkKind| {
+        let p = |k: sal_link::LinkFamily| {
             rows.iter()
-                .find(|r| r.kind == k && r.buffers == buffers)
+                .find(|r| r.family == k && r.buffers == buffers)
                 .map(|r| format!("{:.0}", r.power_uw))
                 .unwrap_or_default()
         };
         out.push(vec![
             buffers.to_string(),
-            p(sal_link::LinkKind::I1Sync),
-            p(sal_link::LinkKind::I2PerTransfer),
-            p(sal_link::LinkKind::I3PerWord),
+            p(sal_link::LinkFamily::Sync),
+            p(sal_link::LinkFamily::PerTransfer),
+            p(sal_link::LinkFamily::PerWord),
         ]);
     }
     print!(

@@ -8,7 +8,7 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
-                r.kind.label().to_string(),
+                r.family.label().to_string(),
                 format!("{:.0}", r.blocks.serdes_uw),
                 format!("{:.0}", r.blocks.buffers_uw),
                 format!("{:.0}", r.blocks.conv_uw),

@@ -6,17 +6,17 @@
 
 use sal_bench::robustness::{self, Outcome, Probe};
 use sal_bench::table;
-use sal_link::LinkKind;
+use sal_link::LinkFamily;
 
-const KINDS: [LinkKind; 3] = [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord];
+const FAMILIES: [LinkFamily; 3] = LinkFamily::ALL;
 
 fn axis_table(title: &str, unit: &str, values: &[f64], probes: &[Probe]) {
     println!("{title}\n");
     let mut rows = Vec::new();
     for &v in values {
-        let cell = |k: LinkKind| {
+        let cell = |k: LinkFamily| {
             let hits: Vec<&Probe> =
-                probes.iter().filter(|p| p.kind == k && p.value == v).collect();
+                probes.iter().filter(|p| p.family == k && p.value == v).collect();
             if hits.is_empty() {
                 return String::new();
             }
@@ -36,13 +36,13 @@ fn axis_table(title: &str, unit: &str, values: &[f64], probes: &[Probe]) {
         };
         rows.push(vec![
             format!("{v}"),
-            cell(LinkKind::I1Sync),
-            cell(LinkKind::I2PerTransfer),
-            cell(LinkKind::I3PerWord),
+            cell(LinkFamily::Sync),
+            cell(LinkFamily::PerTransfer),
+            cell(LinkFamily::PerWord),
         ]);
     }
     print!("{}", table::render(&[unit, "I1-Synch", "I2-Asynch", "I3-Asynch"], &rows));
-    let firsts: Vec<String> = KINDS
+    let firsts: Vec<String> = FAMILIES
         .iter()
         .map(|&k| {
             let f = robustness::first_failure(probes, k).map_or_else(|| "never (survived sweep)".to_string(), |v| format!("{v}"));

@@ -9,7 +9,7 @@ fn main() {
         .iter()
         .map(|p| {
             vec![
-                p.kind.label().to_string(),
+                p.family.label().to_string(),
                 format!("{:.2}", p.offered),
                 format!("{:.3}", p.accepted),
                 format!("{:.1}", p.avg_latency),

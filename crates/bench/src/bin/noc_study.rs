@@ -8,7 +8,7 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
-                r.kind.label().to_string(),
+                r.family.label().to_string(),
                 format!("{:.0}", r.clk_mhz),
                 format!("{:.2}", r.offered),
                 format!("{:.3}", r.accepted),

@@ -6,12 +6,12 @@
 //! writes the machine-readable `BENCH_observability.json` (bytewise
 //! deterministic — CI diffs it against a committed fixture).
 
-use sal_link::measure::{run, MeasureOptions, TraceMode};
+use sal_link::measure::{run_spec, MeasureOptions, TraceMode};
 use sal_link::testbench::worst_case_pattern;
-use sal_link::{LinkConfig, LinkKind, LinkMetrics};
+use sal_link::{LinkConfig, LinkFamily, LinkMetrics, LinkSpec};
 
-fn print_report(m: &LinkMetrics, kind: LinkKind) {
-    println!("== {} ==", kind.label());
+fn print_report(m: &LinkMetrics, family: LinkFamily) {
+    println!("== {} ==", family.label());
     println!(
         "  occupancy: in-use {:.1} ns over a {:.1} ns window, busy fraction {:.3}",
         m.occupancy.in_use.as_ns(),
@@ -59,11 +59,11 @@ fn main() {
 
     println!("Observability — traced worst-case 4-flit transfers @ 100 MHz\n");
     let mut sections: Vec<String> = Vec::new();
-    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        let r = run(kind, &cfg, &words, &opts)
-            .unwrap_or_else(|e| panic!("{} run failed: {e}", kind.label()));
+    for family in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
+        let r = run_spec(&LinkSpec::paper(family), &cfg, &words, &opts)
+            .unwrap_or_else(|e| panic!("{} run failed: {e}", family.label()));
         let m = r.metrics().expect("metrics requested");
-        print_report(m, kind);
+        print_report(m, family);
 
         // Reconcile the trace-derived attribution against the power
         // meter: both count the same toggles, so they must agree to
@@ -88,7 +88,7 @@ fn main() {
         );
         sections.push(format!(
             "\"{}\": {}",
-            kind.label(),
+            family.label(),
             m.to_json().trim_end()
         ));
     }

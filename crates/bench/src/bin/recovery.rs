@@ -5,24 +5,24 @@
 //! `BENCH_recovery.json` (bytewise deterministic — CI diffs it
 //! against a committed fixture).
 
-use sal_bench::recovery::{campaign, tally, to_json, KINDS, MODES, STORM_SEEDS};
+use sal_bench::recovery::{campaign, tally, to_json, FAMILIES, MODES, STORM_SEEDS};
 
 fn main() {
     let report = campaign();
 
     println!("== recovery campaign: {} storm seeds per cell ==", STORM_SEEDS.len());
     println!("{:<6} {:<8} {:>9} {:>9} {:>10} {:>9} {:>6}", "link", "protect", "recovered", "untouched", "undetected", "deadlock", "error");
-    for kind in KINDS {
+    for family in FAMILIES {
         for protection in MODES {
             println!(
                 "{:<6} {:<8} {:>9} {:>9} {:>10} {:>9} {:>6}",
-                kind.label(),
+                family.label(),
                 protection.label(),
-                tally(&report.cells, kind, protection, "recovered"),
-                tally(&report.cells, kind, protection, "untouched"),
-                tally(&report.cells, kind, protection, "undetected"),
-                tally(&report.cells, kind, protection, "deadlock"),
-                tally(&report.cells, kind, protection, "error"),
+                tally(&report.cells, family, protection, "recovered"),
+                tally(&report.cells, family, protection, "untouched"),
+                tally(&report.cells, family, protection, "undetected"),
+                tally(&report.cells, family, protection, "deadlock"),
+                tally(&report.cells, family, protection, "error"),
             );
         }
     }
@@ -31,7 +31,7 @@ fn main() {
     for e in &report.energy {
         println!(
             "{:<6} {:<8} {:>9.1} µW  (+{:.2}%)",
-            e.kind.label(),
+            e.family.label(),
             e.protection.label(),
             e.total_uw,
             e.overhead_pct
@@ -41,7 +41,7 @@ fn main() {
     for cell in report.cells.iter().filter(|c| c.shrunk.is_some()) {
         println!(
             "\nSHRUNK REPRO for failing {} / {} / seed {}: {:?}",
-            cell.kind.label(),
+            cell.family.label(),
             cell.protection.label(),
             cell.seed,
             cell.shrunk.as_ref().unwrap()

@@ -11,7 +11,7 @@
 
 use sal_cells::CircuitBuilder;
 use sal_des::{Simulator, Time};
-use sal_link::{build_link, LinkConfig, LinkKind, WordRxStyle};
+use sal_link::{generate, LinkConfig, LinkFamily, LinkSpec, WordRxStyle};
 use sal_lint::{run_all, timing_margins, LintReport, Severity, TimingMargin};
 use sal_tech::St012Library;
 
@@ -31,12 +31,14 @@ fn corners() -> Vec<(&'static str, LinkConfig)> {
     ]
 }
 
-fn lint_corner(kind: LinkKind, cfg: &LinkConfig) -> (LintReport, Vec<TimingMargin>) {
+fn lint_corner(family: LinkFamily, cfg: &LinkConfig) -> (LintReport, Vec<TimingMargin>) {
     let mut sim = Simulator::new();
     let lib = St012Library::default();
     let mut b = CircuitBuilder::new(&mut sim, &lib);
-    build_link(&mut b, kind, "link", cfg)
-        .unwrap_or_else(|e| panic!("{} failed to build: {e}", kind.label()));
+    let spec = LinkSpec::from_config(family, cfg)
+        .unwrap_or_else(|e| panic!("{} corner is not a valid spec: {e}", family.label()));
+    generate(&mut b, &spec, "link", cfg)
+        .unwrap_or_else(|e| panic!("{} failed to build: {e}", family.label()));
     b.finish();
     let graph = sim.netgraph();
     (run_all(&graph), timing_margins(&graph))
@@ -55,9 +57,9 @@ fn main() {
     println!("sal-lint — static netlist analysis over every link and corner\n");
     let mut entries: Vec<String> = Vec::new();
     let mut total_errors = 0usize;
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+    for family in [LinkFamily::Sync, LinkFamily::PerTransfer, LinkFamily::PerWord] {
         for (label, cfg) in corners() {
-            let (report, margins) = lint_corner(kind, &cfg);
+            let (report, margins) = lint_corner(family, &cfg);
             let errors = report.count(Severity::Error);
             let warnings = report.count(Severity::Warning);
             let infos = report.count(Severity::Info);
@@ -68,7 +70,7 @@ fn main() {
                 .fold(f64::INFINITY, f64::min);
             println!(
                 "{:<3} {:<12} errors {:>2}, warnings {:>2}, infos {:>3}, captures {:>3}{}",
-                kind.label(),
+                family.label(),
                 label,
                 errors,
                 warnings,
@@ -93,7 +95,7 @@ fn main() {
             entries.push(format!(
                 "    {{\"kind\": \"{}\", \"corner\": \"{}\", \"errors\": {}, \
                  \"warnings\": {}, \"infos\": {}, \"margins\": [{}{}]}}",
-                kind.label(),
+                family.label(),
                 label,
                 errors,
                 warnings,

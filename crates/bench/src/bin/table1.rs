@@ -7,10 +7,10 @@ fn main() {
     let rows: Vec<Vec<String>> = experiments::table1()
         .iter()
         .map(|r| {
-            let name = match r.kind {
-                sal_link::LinkKind::I1Sync => "Synchronous (I1)",
-                sal_link::LinkKind::I2PerTransfer => "Asynchronous per-transfer ack. (I2)",
-                sal_link::LinkKind::I3PerWord => "Asynchronous per-word ack. (I3)",
+            let name = match r.family {
+                sal_link::LinkFamily::Sync => "Synchronous (I1)",
+                sal_link::LinkFamily::PerTransfer => "Asynchronous per-transfer ack. (I2)",
+                sal_link::LinkFamily::PerWord => "Asynchronous per-word ack. (I3)",
             };
             vec![name.to_string(), format!("{:.0}", r.area_um2)]
         })

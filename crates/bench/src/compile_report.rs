@@ -17,7 +17,7 @@ use sal_link::measure::MeasureOptions;
 use sal_link::testbench::{
     attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource,
 };
-use sal_link::{build_link, LinkConfig, LinkKind};
+use sal_link::{generate, LinkConfig, LinkFamily, LinkSpec};
 
 use crate::sliced;
 
@@ -113,14 +113,14 @@ fn ring_stats(compiled: bool) -> EngineStats {
     }
 }
 
-fn link_stats(kind: LinkKind, compiled: bool) -> EngineStats {
+fn link_stats(family: LinkFamily, compiled: bool) -> EngineStats {
     let cfg = LinkConfig::default();
     let opts = MeasureOptions::default();
     let words: Vec<u64> =
         (0..LINK_WORDS as u64).map(|i| i.wrapping_mul(0x9e37_79b9) & 0xffff_ffff).collect();
     let mut sim = Simulator::new();
     let mut builder = CircuitBuilder::new(&mut sim, &opts.lib);
-    let handles = build_link(&mut builder, kind, "link", &cfg).expect("link builds");
+    let handles = generate(&mut builder, &LinkSpec::paper(family), "link", &cfg).expect("link builds");
     builder.finish();
     if compiled {
         sim.compile();
@@ -185,15 +185,15 @@ pub fn report() -> CompileReport {
         interpreted: ring_stats(false),
         compiled: ring_stats(true),
     });
-    for (name, kind) in [
-        ("i1_sync_64_words", LinkKind::I1Sync),
-        ("i2_per_transfer_64_words", LinkKind::I2PerTransfer),
-        ("i3_per_word_64_words", LinkKind::I3PerWord),
+    for (name, family) in [
+        ("i1_sync_64_words", LinkFamily::Sync),
+        ("i2_per_transfer_64_words", LinkFamily::PerTransfer),
+        ("i3_per_word_64_words", LinkFamily::PerWord),
     ] {
         workloads.push(WorkloadRow {
             name,
-            interpreted: link_stats(kind, false),
-            compiled: link_stats(kind, true),
+            interpreted: link_stats(family, false),
+            compiled: link_stats(family, true),
         });
     }
     let sliced = SLICED_SEEDS.iter().map(|&s| sliced_row(s, 64)).collect();

@@ -2,23 +2,31 @@
 
 use sal_analytic::{fig10_series, Fig10Point, PerTransferDelay, PerWordDelay};
 use sal_des::Time;
-use sal_link::measure::{run, BlockPower, LinkRun, MeasureOptions};
+use sal_link::measure::{run_spec, BlockPower, LinkRun, MeasureOptions};
 use sal_link::testbench::worst_case_pattern;
-use sal_link::{LinkConfig, LinkKind};
+use sal_link::{LinkConfig, LinkFamily, LinkSpec};
 use sal_noc::{LinkModel, Mesh, Network, NetworkConfig, TrafficPattern};
 use sal_tech::WireModel;
 
 use crate::sweep::sweep_map;
 
-/// All three link kinds, in the paper's order.
-pub const KINDS: [LinkKind; 3] =
-    [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord];
+/// All three link families, in the paper's order.
+pub const FAMILIES: [LinkFamily; 3] = LinkFamily::ALL;
 
 /// The paper's buffer-count sweep (Figs 12–13).
 pub const BUFFER_SWEEP: [u32; 4] = [2, 4, 6, 8];
 
-fn cfg_at(buffers: u32, clk: Time) -> LinkConfig {
-    LinkConfig { buffers, clk_period: clk, ..LinkConfig::default() }
+fn base_at(clk: Time) -> LinkConfig {
+    LinkConfig { clk_period: clk, ..LinkConfig::default() }
+}
+
+/// Paper-point spec (32-bit word, 4:1) at a given buffer depth.
+fn spec_at(family: LinkFamily, buffers: u32) -> LinkSpec {
+    LinkSpec::builder()
+        .family(family)
+        .buffer_depth(buffers)
+        .build()
+        .expect("the paper point is a valid spec at every swept depth")
 }
 
 /// 100 MHz switch clock (paper Figs 10, 12).
@@ -58,7 +66,8 @@ pub fn fig10() -> Fig10 {
     for mhz in [100.0_f64, 200.0, 300.0] {
         let c = LinkConfig { clk_period: Time::from_hz(mhz * 1e6), ..cfg.clone() };
         let words: Vec<u64> = (0..16).map(|i| (i * 0x0137_9BDF) & 0xFFFF_FFFF).collect();
-        let run = run(LinkKind::I3PerWord, &c, &words, &MeasureOptions::default()).expect("clean run");
+        let run = run_spec(&LinkSpec::paper(LinkFamily::PerWord), &c, &words, &MeasureOptions::default())
+            .expect("clean run");
         measured.push((mhz, run.throughput_mflits()));
     }
     Fig10 { series, upper_bound_mflits: ub, measured_i3_mflits: measured }
@@ -102,7 +111,7 @@ pub fn fig11() -> Vec<Fig11Row> {
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct PowerRow {
     /// Link implementation.
-    pub kind: LinkKind,
+    pub family: LinkFamily,
     /// Buffer count.
     pub buffers: u32,
     /// Total link power, µW.
@@ -119,49 +128,49 @@ pub fn fig12() -> Vec<PowerRow> {
 /// averaging windows are carried over from the 100 MHz runs ("the same
 /// simulation run time was used").
 pub fn fig13() -> Vec<PowerRow> {
-    let windows: Vec<((LinkKind, u32), Time)> = power_runs(clk_100mhz(), None)
+    let windows: Vec<((LinkFamily, u32), Time)> = power_runs(clk_100mhz(), None)
         .into_iter()
-        .map(|r| ((r.kind, r.cfg.buffers), r.window))
+        .map(|r| ((r.family, r.cfg.buffers), r.window))
         .collect();
-    let lookup = move |kind: LinkKind, buffers: u32| {
+    let lookup = move |family: LinkFamily, buffers: u32| {
         windows
             .iter()
-            .find(|((k, b), _)| *k == kind && *b == buffers)
+            .find(|((f, b), _)| *f == family && *b == buffers)
             .map(|(_, w)| *w)
     };
-    let points: Vec<(LinkKind, u32)> = KINDS
+    let points: Vec<(LinkFamily, u32)> = FAMILIES
         .iter()
-        .flat_map(|&kind| {
-            BUFFER_SWEEP.iter().map(move |&buffers| (kind, buffers))
+        .flat_map(|&family| {
+            BUFFER_SWEEP.iter().map(move |&buffers| (family, buffers))
         })
         .collect();
-    sweep_map(points, |(kind, buffers)| {
-        let cfg = cfg_at(buffers, clk_300mhz());
+    sweep_map(points, |(family, buffers)| {
         let opts = MeasureOptions {
-            window_override: lookup(kind, buffers),
+            window_override: lookup(family, buffers),
             ..MeasureOptions::default()
         };
-        let run = run(kind, &cfg, &worst_case_pattern(4, 32), &opts).expect("clean run");
-        PowerRow { kind, buffers, power_uw: run.total_power_uw() }
+        let run = run_spec(&spec_at(family, buffers), &base_at(clk_300mhz()), &worst_case_pattern(4, 32), &opts)
+            .expect("clean run");
+        PowerRow { family, buffers, power_uw: run.total_power_uw() }
     })
 }
 
 fn power_runs(clk: Time, window: Option<Time>) -> Vec<LinkRun> {
-    let points: Vec<(LinkKind, u32)> = KINDS
+    let points: Vec<(LinkFamily, u32)> = FAMILIES
         .iter()
-        .flat_map(|&kind| BUFFER_SWEEP.iter().map(move |&b| (kind, b)))
+        .flat_map(|&family| BUFFER_SWEEP.iter().map(move |&b| (family, b)))
         .collect();
-    sweep_map(points, |(kind, buffers)| {
-        let cfg = cfg_at(buffers, clk);
+    sweep_map(points, |(family, buffers)| {
         let opts = MeasureOptions { window_override: window, ..MeasureOptions::default() };
-        run(kind, &cfg, &worst_case_pattern(4, 32), &opts).expect("clean run")
+        run_spec(&spec_at(family, buffers), &base_at(clk), &worst_case_pattern(4, 32), &opts)
+            .expect("clean run")
     })
 }
 
 fn power_sweep(clk: Time, window: Option<Time>) -> Vec<PowerRow> {
     power_runs(clk, window)
         .into_iter()
-        .map(|r| PowerRow { kind: r.kind, buffers: r.cfg.buffers, power_uw: r.total_power_uw() })
+        .map(|r| PowerRow { family: r.family, buffers: r.cfg.buffers, power_uw: r.total_power_uw() })
         .collect()
 }
 
@@ -174,19 +183,24 @@ fn power_sweep(clk: Time, window: Option<Time>) -> Vec<PowerRow> {
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Fig14Row {
     /// Link implementation.
-    pub kind: LinkKind,
+    pub family: LinkFamily,
     /// Grouped block power.
     pub blocks: BlockPower,
 }
 
 /// Regenerates Fig 14.
 pub fn fig14() -> Vec<Fig14Row> {
-    KINDS
+    FAMILIES
         .iter()
-        .map(|&kind| {
-            let cfg = cfg_at(4, clk_100mhz());
-            let run = run(kind, &cfg, &worst_case_pattern(4, 32), &MeasureOptions::default()).expect("clean run");
-            Fig14Row { kind, blocks: run.block_power() }
+        .map(|&family| {
+            let run = run_spec(
+                &spec_at(family, 4),
+                &base_at(clk_100mhz()),
+                &worst_case_pattern(4, 32),
+                &MeasureOptions::default(),
+            )
+            .expect("clean run");
+            Fig14Row { family, blocks: run.block_power() }
         })
         .collect()
 }
@@ -199,18 +213,18 @@ pub fn fig14() -> Vec<Fig14Row> {
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Table1Row {
     /// Link implementation.
-    pub kind: LinkKind,
+    pub family: LinkFamily,
     /// Total cell area, µm².
     pub area_um2: f64,
 }
 
 /// Regenerates Table 1 (paper setup: 4 buffers).
 pub fn table1() -> Vec<Table1Row> {
-    KINDS
+    FAMILIES
         .iter()
-        .map(|&kind| {
-            let run = build_only(kind);
-            Table1Row { kind, area_um2: run.area_um2() }
+        .map(|&family| {
+            let run = build_only(family);
+            Table1Row { family, area_um2: run.area_um2() }
         })
         .collect()
 }
@@ -228,7 +242,7 @@ pub struct Table2Row {
 
 /// Regenerates Table 2: the per-module breakdown of implementation I2.
 pub fn table2() -> Vec<Table2Row> {
-    let run = build_only(LinkKind::I2PerTransfer);
+    let run = build_only(LinkFamily::PerTransfer);
     let buffers = run.cfg.buffers;
     let per_buffer = (0..buffers)
         .map(|k| run.area.subtree_um2(&format!("link.wire.buf{k}")))
@@ -259,11 +273,12 @@ pub fn table2() -> Vec<Table2Row> {
     ]
 }
 
-fn build_only(kind: LinkKind) -> LinkRun {
+fn build_only(family: LinkFamily) -> LinkRun {
     // A short functional run so the structure is exercised; area does
     // not depend on the traffic.
     let cfg = LinkConfig::default();
-    run(kind, &cfg, &worst_case_pattern(2, 32), &MeasureOptions::default()).expect("clean run")
+    run_spec(&LinkSpec::paper(family), &cfg, &worst_case_pattern(2, 32), &MeasureOptions::default())
+        .expect("clean run")
 }
 
 // ---------------------------------------------------------------------
@@ -322,8 +337,10 @@ pub fn delay_check() -> DelayCheck {
     // link; the FIFO interfaces throttle to the self-timed rate.
     let fast = LinkConfig { clk_period: Time::from_ps(1000), ..cfg };
     let words: Vec<u64> = (0..24).map(|i| (i * 0x0F1E_2D3C) & 0xFFFF_FFFF).collect();
-    let run_i3 = run(LinkKind::I3PerWord, &fast, &words, &MeasureOptions::default()).expect("clean run");
-    let run_i2 = run(LinkKind::I2PerTransfer, &fast, &words, &MeasureOptions::default()).expect("clean run");
+    let run_i3 = run_spec(&LinkSpec::paper(LinkFamily::PerWord), &fast, &words, &MeasureOptions::default())
+        .expect("clean run");
+    let run_i2 = run_spec(&LinkSpec::paper(LinkFamily::PerTransfer), &fast, &words, &MeasureOptions::default())
+        .expect("clean run");
     DelayCheck {
         paper_analytic_mflits: paper,
         our_analytic_mflits: ours,
@@ -358,20 +375,25 @@ pub fn headline() -> Headline {
     // Power at 300 MHz / 8 buffers, paper protocol (fixed window from
     // the 100 MHz run).
     let words = worst_case_pattern(4, 32);
-    let c100 = cfg_at(8, clk_100mhz());
-    let base = run(LinkKind::I1Sync, &c100, &words, &MeasureOptions::default()).expect("clean run");
+    let base = run_spec(
+        &spec_at(LinkFamily::Sync, 8),
+        &base_at(clk_100mhz()),
+        &words,
+        &MeasureOptions::default(),
+    )
+    .expect("clean run");
     let opts = MeasureOptions {
         window_override: Some(base.window),
         ..MeasureOptions::default()
     };
-    let c300 = cfg_at(8, clk_300mhz());
-    let i1 = run(LinkKind::I1Sync, &c300, &words, &opts).expect("clean run");
-    let i3 = run(LinkKind::I3PerWord, &c300, &words, &opts).expect("clean run");
+    let c300 = base_at(clk_300mhz());
+    let i1 = run_spec(&spec_at(LinkFamily::Sync, 8), &c300, &words, &opts).expect("clean run");
+    let i3 = run_spec(&spec_at(LinkFamily::PerWord, 8), &c300, &words, &opts).expect("clean run");
     let power_reduction = 1.0 - i3.total_power_uw() / i1.total_power_uw();
 
     let areas = table1();
-    let a = |k: LinkKind| areas.iter().find(|r| r.kind == k).expect("all kinds").area_um2;
-    let area_overhead = a(LinkKind::I2PerTransfer) / a(LinkKind::I1Sync) - 1.0;
+    let a = |f: LinkFamily| areas.iter().find(|r| r.family == f).expect("all families").area_um2;
+    let area_overhead = a(LinkFamily::PerTransfer) / a(LinkFamily::Sync) - 1.0;
 
     Headline { wire_reduction, power_reduction, area_overhead }
 }
@@ -384,7 +406,7 @@ pub fn headline() -> Headline {
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct NocRow {
     /// Link implementation the channels model.
-    pub kind: LinkKind,
+    pub family: LinkFamily,
     /// Switch clock, MHz.
     pub clk_mhz: f64,
     /// Offered load, flits/node/cycle.
@@ -403,18 +425,18 @@ pub struct NocRow {
 pub fn noc_study() -> Vec<NocRow> {
     let mut points = Vec::new();
     for &(mhz, period_ps) in &[(100.0, 10_000u64), (600.0, 1_667)] {
-        for &kind in &KINDS {
+        for &family in &FAMILIES {
             for &offered in &[0.1, 0.3, 0.5] {
-                points.push((mhz, period_ps, kind, offered));
+                points.push((mhz, period_ps, family, offered));
             }
         }
     }
-    sweep_map(points, |(mhz, period_ps, kind, offered)| {
+    sweep_map(points, |(mhz, period_ps, family, offered)| {
         let lcfg = LinkConfig {
             clk_period: Time::from_ps(period_ps),
             ..LinkConfig::default()
         };
-        let model = LinkModel::from_link(kind, &lcfg);
+        let model = LinkModel::from_link(family, &lcfg);
         let mesh = Mesh::new(4, 4);
         let total_wires = mesh.channel_count() as u64 * model.wires as u64;
         let cfg = NetworkConfig {
@@ -427,7 +449,7 @@ pub fn noc_study() -> Vec<NocRow> {
         let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 2024);
         let stats = net.run(6_000, 2_000);
         NocRow {
-            kind,
+            family,
             clk_mhz: mhz,
             offered,
             accepted: stats.throughput_fpnc(),
@@ -441,7 +463,7 @@ pub fn noc_study() -> Vec<NocRow> {
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct CurvePoint {
     /// Link implementation the channels model.
-    pub kind: LinkKind,
+    pub family: LinkFamily,
     /// Offered load, flits/node/cycle.
     pub offered: f64,
     /// Accepted throughput, flits/node/cycle.
@@ -456,16 +478,16 @@ pub struct CurvePoint {
 /// clock, where serialization bites: the classic NoC evaluation the
 /// paper's link-level study feeds into.
 pub fn noc_curves() -> Vec<CurvePoint> {
-    let points: Vec<(LinkKind, f64)> = KINDS
+    let points: Vec<(LinkFamily, f64)> = FAMILIES
         .iter()
-        .flat_map(|&kind| (1..=8).map(move |i| (kind, 0.08 * i as f64)))
+        .flat_map(|&family| (1..=8).map(move |i| (family, 0.08 * i as f64)))
         .collect();
-    sweep_map(points, |(kind, offered)| {
+    sweep_map(points, |(family, offered)| {
         let lcfg = LinkConfig {
             clk_period: Time::from_ps(1_667),
             ..LinkConfig::default()
         };
-        let model = LinkModel::from_link(kind, &lcfg);
+        let model = LinkModel::from_link(family, &lcfg);
         let cfg = NetworkConfig {
             mesh: Mesh::new(4, 4),
             link: model,
@@ -476,7 +498,7 @@ pub fn noc_curves() -> Vec<CurvePoint> {
         let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 4242);
         let stats = net.run(6_000, 2_000);
         CurvePoint {
-            kind,
+            family,
             offered,
             accepted: stats.throughput_fpnc(),
             avg_latency: stats.avg_latency(),

@@ -23,6 +23,7 @@
 //! | `recovery` | Link-level error detection & retransmission chaos soak |
 //! | `flows` | End-to-end flows over lossy mesh channels (goodput-collapse curves) |
 //! | `compile` | Compiled-engine equivalence + bit-sliced seed campaigns |
+//! | `pareto` | Design-space sweep over the `LinkSpec` lattice (extension) |
 
 #![forbid(unsafe_code)]
 
@@ -30,6 +31,7 @@ pub mod ablations;
 pub mod compile_report;
 pub mod experiments;
 pub mod flows;
+pub mod pareto;
 pub mod recovery;
 pub mod robustness;
 pub mod sliced;

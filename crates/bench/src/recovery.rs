@@ -28,18 +28,18 @@
 //! so slice replacement slips past parity but not past the CRC).
 
 use sal_des::{FaultPlan, Time};
-use sal_link::measure::{run, MeasureOptions, RunFailure};
+use sal_link::measure::{run_spec, MeasureOptions, RunFailure};
 use sal_link::metrics::Histogram;
 use sal_link::testbench::worst_case_pattern;
-use sal_link::{LinkConfig, LinkKind, ProtectionMode, RecoveryCounts};
+use sal_link::{LinkConfig, LinkFamily, LinkSpec, ProtectionMode, RecoveryCounts};
 
 use crate::sweep;
 
-/// Link kinds the campaign exercises (the storms target the
+/// Link families the campaign exercises (the storms target the
 /// serialized wire, so the parallel I1 is out of scope).
-pub const KINDS: [LinkKind; 2] = [LinkKind::I2PerTransfer, LinkKind::I3PerWord];
+pub const FAMILIES: [LinkFamily; 2] = [LinkFamily::PerTransfer, LinkFamily::PerWord];
 
-/// Protection modes per kind.
+/// Protection modes per family.
 pub const MODES: [ProtectionMode; 3] =
     [ProtectionMode::Off, ProtectionMode::Parity, ProtectionMode::Crc8];
 
@@ -168,7 +168,7 @@ impl Soak {
 #[derive(Debug, Clone)]
 pub struct Cell {
     /// Link under test.
-    pub kind: LinkKind,
+    pub family: LinkFamily,
     /// Protection mode under test.
     pub protection: ProtectionMode,
     /// Storm seed.
@@ -189,7 +189,7 @@ pub struct Cell {
 #[derive(Debug, Clone)]
 pub struct EnergyRow {
     /// Link measured.
-    pub kind: LinkKind,
+    pub family: LinkFamily,
     /// Protection mode measured.
     pub protection: ProtectionMode,
     /// Total link power on the clean 16-word pattern, µW.
@@ -201,7 +201,7 @@ pub struct EnergyRow {
 /// Everything `--bin recovery` reports.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
-    /// All campaign cells, in kind-major, mode-middle, seed-minor
+    /// All campaign cells, in family-major, mode-middle, seed-minor
     /// order.
     pub cells: Vec<Cell>,
     /// The protection energy tax on a clean run.
@@ -224,14 +224,18 @@ fn soak_opts(plan: FaultPlan) -> MeasureOptions {
 }
 
 fn classify(
-    kind: LinkKind,
+    family: LinkFamily,
     protection: ProtectionMode,
     glitches: &[Glitch],
     seed: u64,
     words: &[u64],
 ) -> (Soak, Option<RecoveryCounts>, Histogram) {
-    let cfg = LinkConfig { protection, ..LinkConfig::default() };
-    match run(kind, &cfg, words, &soak_opts(plan_of(glitches, seed))) {
+    let spec = LinkSpec::builder()
+        .family(family)
+        .protection(protection)
+        .build()
+        .expect("every campaign cell is a valid spec");
+    match run_spec(&spec, &LinkConfig::default(), words, &soak_opts(plan_of(glitches, seed))) {
         Ok(r) => {
             let mut latency = Histogram::new();
             for ((t_in, _), (t_out, _)) in r.sent.iter().zip(&r.received) {
@@ -262,7 +266,7 @@ fn classify(
 /// drop that still reproduces a failure, until no single drop does.
 /// At most `O(n²)` replays for an `n`-glitch storm.
 pub fn shrink(
-    kind: LinkKind,
+    family: LinkFamily,
     protection: ProtectionMode,
     glitches: &[Glitch],
     seed: u64,
@@ -276,7 +280,7 @@ pub fn shrink(
             }
             let mut candidate = current.clone();
             candidate.remove(i);
-            let (outcome, _, _) = classify(kind, protection, &candidate, seed, words);
+            let (outcome, _, _) = classify(family, protection, &candidate, seed, words);
             if outcome.is_failure() {
                 current = candidate;
                 continue 'outer;
@@ -291,31 +295,35 @@ pub fn shrink(
 /// all randomness flows from [`STORM_SEEDS`].
 pub fn campaign() -> RecoveryReport {
     let words = soak_words();
-    let mut items: Vec<(LinkKind, ProtectionMode, u64)> = Vec::new();
-    for kind in KINDS {
+    let mut items: Vec<(LinkFamily, ProtectionMode, u64)> = Vec::new();
+    for family in FAMILIES {
         for protection in MODES {
             for seed in STORM_SEEDS {
-                items.push((kind, protection, seed));
+                items.push((family, protection, seed));
             }
         }
     }
-    let cells = sweep::parallel_map(items, |(kind, protection, seed)| {
+    let cells = sweep::parallel_map(items, |(family, protection, seed)| {
         let glitches = storm(seed);
-        let (outcome, recovery, latency) = classify(kind, protection, &glitches, seed, &words);
+        let (outcome, recovery, latency) = classify(family, protection, &glitches, seed, &words);
         let shrunk = (protection != ProtectionMode::Off && outcome.is_failure())
-            .then(|| shrink(kind, protection, &glitches, seed, &words));
-        Cell { kind, protection, seed, outcome, recovery, latency, shrunk }
+            .then(|| shrink(family, protection, &glitches, seed, &words));
+        Cell { family, protection, seed, outcome, recovery, latency, shrunk }
     })
     .expect("a soak cell panicked");
 
     let energy = sweep::parallel_map(
-        KINDS.iter().flat_map(|&k| MODES.map(|m| (k, m))).collect::<Vec<_>>(),
-        |(kind, protection)| {
-            let cfg = LinkConfig { protection, ..LinkConfig::default() };
+        FAMILIES.iter().flat_map(|&f| MODES.map(|m| (f, m))).collect::<Vec<_>>(),
+        |(family, protection)| {
+            let spec = LinkSpec::builder()
+                .family(family)
+                .protection(protection)
+                .build()
+                .expect("every energy cell is a valid spec");
             let opts = MeasureOptions { timeout: Time::from_us(40), ..MeasureOptions::default() };
-            let total_uw = run(kind, &cfg, &soak_words(), &opts)
+            let total_uw = run_spec(&spec, &LinkConfig::default(), &soak_words(), &opts)
                 .map_or(f64::NAN, |r| r.total_power_uw());
-            EnergyRow { kind, protection, total_uw, overhead_pct: 0.0 }
+            EnergyRow { family, protection, total_uw, overhead_pct: 0.0 }
         },
     )
     .expect("an energy probe panicked");
@@ -325,13 +333,13 @@ pub fn campaign() -> RecoveryReport {
 }
 
 fn with_overheads(mut rows: Vec<EnergyRow>) -> Vec<EnergyRow> {
-    for kind in KINDS {
+    for family in FAMILIES {
         let base = rows
             .iter()
-            .find(|r| r.kind == kind && r.protection == ProtectionMode::Off)
+            .find(|r| r.family == family && r.protection == ProtectionMode::Off)
             .map(|r| r.total_uw);
         if let Some(base) = base {
-            for r in rows.iter_mut().filter(|r| r.kind == kind) {
+            for r in rows.iter_mut().filter(|r| r.family == family) {
                 r.overhead_pct = (r.total_uw / base - 1.0) * 100.0;
             }
         }
@@ -339,11 +347,11 @@ fn with_overheads(mut rows: Vec<EnergyRow>) -> Vec<EnergyRow> {
     rows
 }
 
-/// Count of cells per `(kind, protection)` with the given tag.
-pub fn tally(cells: &[Cell], kind: LinkKind, protection: ProtectionMode, tag: &str) -> usize {
+/// Count of cells per `(family, protection)` with the given tag.
+pub fn tally(cells: &[Cell], family: LinkFamily, protection: ProtectionMode, tag: &str) -> usize {
     cells
         .iter()
-        .filter(|c| c.kind == kind && c.protection == protection && c.outcome.tag() == tag)
+        .filter(|c| c.family == family && c.protection == protection && c.outcome.tag() == tag)
         .count()
 }
 
@@ -411,7 +419,7 @@ fn cell_json(c: &Cell) -> String {
     format!(
         "{{\"kind\": \"{}\", \"protection\": \"{}\", \"seed\": {}, \"outcome\": \"{}\"{detail}, \
          \"recovery\": {recovery}, \"latency\": {}, \"shrunk_storm\": {shrunk}}}",
-        c.kind.label(),
+        c.family.label(),
         c.protection.label(),
         c.seed,
         c.outcome.tag(),
@@ -424,16 +432,16 @@ fn cell_json(c: &Cell) -> String {
 pub fn to_json(r: &RecoveryReport) -> String {
     let cells: Vec<String> = r.cells.iter().map(cell_json).collect();
     let mut summary = Vec::new();
-    for kind in KINDS {
+    for family in FAMILIES {
         let mut modes = Vec::new();
         for protection in MODES {
             let counts: Vec<String> = ["recovered", "untouched", "undetected", "deadlock", "error"]
                 .iter()
-                .map(|tag| format!("\"{tag}\": {}", tally(&r.cells, kind, protection, tag)))
+                .map(|tag| format!("\"{tag}\": {}", tally(&r.cells, family, protection, tag)))
                 .collect();
             modes.push(format!("\"{}\": {{{}}}", protection.label(), counts.join(", ")));
         }
-        summary.push(format!("    \"{}\": {{{}}}", kind.label(), modes.join(", ")));
+        summary.push(format!("    \"{}\": {{{}}}", family.label(), modes.join(", ")));
     }
     let energy: Vec<String> = r
         .energy
@@ -442,7 +450,7 @@ pub fn to_json(r: &RecoveryReport) -> String {
             format!(
                 "    {{\"kind\": \"{}\", \"protection\": \"{}\", \"total_uw\": {:.3}, \
                  \"overhead_pct\": {:.2}}}",
-                e.kind.label(),
+                e.family.label(),
                 e.protection.label(),
                 e.total_uw,
                 e.overhead_pct
@@ -485,13 +493,13 @@ mod tests {
         // both kinds, CRC protection — zero undetected corruptions
         // and every word delivered.
         let words = soak_words();
-        for kind in KINDS {
+        for family in FAMILIES {
             let glitches = storm(11);
             let (outcome, _, latency) =
-                classify(kind, ProtectionMode::Crc8, &glitches, 11, &words);
+                classify(family, ProtectionMode::Crc8, &glitches, 11, &words);
             assert!(
                 matches!(outcome, Soak::Recovered | Soak::Untouched),
-                "{kind:?} under seed-11 storm: {outcome:?}"
+                "{family:?} under seed-11 storm: {outcome:?}"
             );
             assert_eq!(latency.count(), SOAK_WORDS as u64, "every word delivered");
         }
@@ -504,16 +512,16 @@ mod tests {
         // original size.
         let words = soak_words();
         let full = storm(23);
-        let (outcome, _, _) = classify(LinkKind::I2PerTransfer, ProtectionMode::Off, &full, 23, &words);
+        let (outcome, _, _) = classify(LinkFamily::PerTransfer, ProtectionMode::Off, &full, 23, &words);
         if !outcome.is_failure() {
             // The control cell happening to pass is possible in
             // principle; the campaign would report it as untouched.
             return;
         }
-        let minimal = shrink(LinkKind::I2PerTransfer, ProtectionMode::Off, &full, 23, &words);
+        let minimal = shrink(LinkFamily::PerTransfer, ProtectionMode::Off, &full, 23, &words);
         assert!(!minimal.is_empty() && minimal.len() <= full.len());
         let (still, _, _) =
-            classify(LinkKind::I2PerTransfer, ProtectionMode::Off, &minimal, 23, &words);
+            classify(LinkFamily::PerTransfer, ProtectionMode::Off, &minimal, 23, &words);
         assert!(still.is_failure(), "shrunk storm must still reproduce: {still:?}");
     }
 
@@ -521,7 +529,7 @@ mod tests {
     fn json_shape_is_stable() {
         let r = RecoveryReport {
             cells: vec![Cell {
-                kind: LinkKind::I2PerTransfer,
+                family: LinkFamily::PerTransfer,
                 protection: ProtectionMode::Crc8,
                 seed: 11,
                 outcome: Soak::Recovered,
@@ -530,7 +538,7 @@ mod tests {
                 shrunk: None,
             }],
             energy: vec![EnergyRow {
-                kind: LinkKind::I2PerTransfer,
+                family: LinkFamily::PerTransfer,
                 protection: ProtectionMode::Off,
                 total_uw: 123.4,
                 overhead_pct: 0.0,

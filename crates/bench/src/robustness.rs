@@ -26,9 +26,9 @@
 //! when every word arrives.
 
 use sal_des::{FaultPlan, Time};
-use sal_link::measure::{run, MeasureOptions, RunFailure};
+use sal_link::measure::{run_spec, MeasureOptions, RunFailure};
 use sal_link::testbench::worst_case_pattern;
-use sal_link::{LinkConfig, LinkKind};
+use sal_link::{LinkConfig, LinkFamily, LinkSpec};
 
 use crate::sweep;
 
@@ -90,7 +90,7 @@ impl Outcome {
 #[derive(Debug, Clone)]
 pub struct Probe {
     /// Which link was probed.
-    pub kind: LinkKind,
+    pub family: LinkFamily,
     /// Axis value (scale factor, skew in ps, or sigma).
     pub value: f64,
     /// Monte-Carlo seed (0 where the axis is deterministic).
@@ -124,15 +124,15 @@ pub struct RobustnessReport {
     pub deadlock_demo: DeadlockDemo,
 }
 
-const KINDS: [LinkKind; 3] = [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord];
+const FAMILIES: [LinkFamily; 3] = LinkFamily::ALL;
 
 /// Scopes whose gate delays the scale/sigma axes perturb: the link's
 /// self-timed core. Interfaces and the clock stay nominal, so the
 /// probe isolates the part of the design whose timing each protocol
 /// actually owns.
-fn core_scopes(kind: LinkKind) -> Vec<String> {
-    match kind {
-        LinkKind::I1Sync => vec!["link.buffers".into()],
+fn core_scopes(family: LinkFamily) -> Vec<String> {
+    match family {
+        LinkFamily::Sync => vec!["link.buffers".into()],
         _ => vec!["link.ser".into(), "link.wire".into(), "link.des".into()],
     }
 }
@@ -140,9 +140,9 @@ fn core_scopes(kind: LinkKind) -> Vec<String> {
 /// Substring selecting the *data* wires for the skew axis. For the
 /// serialized links these are the slice-data segments between
 /// stations; for I1 the inter-stage flit registers' outputs.
-fn data_wire_substring(kind: LinkKind) -> &'static str {
-    match kind {
-        LinkKind::I1Sync => "flit_q",
+fn data_wire_substring(family: LinkFamily) -> &'static str {
+    match family {
+        LinkFamily::Sync => "flit_q",
         _ => ".seg_d",
     }
 }
@@ -169,8 +169,8 @@ fn probe_opts(plan: FaultPlan, slowdown: f64) -> MeasureOptions {
     }
 }
 
-fn classify(kind: LinkKind, plan: FaultPlan, words: &[u64], slowdown: f64) -> Outcome {
-    match run(kind, &LinkConfig::default(), words, &probe_opts(plan, slowdown)) {
+fn classify(family: LinkFamily, plan: FaultPlan, words: &[u64], slowdown: f64) -> Outcome {
+    match run_spec(&LinkSpec::paper(family), &LinkConfig::default(), words, &probe_opts(plan, slowdown)) {
         Ok(run) if run.integrity.is_clean() => Outcome::Pass,
         Ok(run) => Outcome::Corrupt { violations: run.integrity.violations() },
         Err(RunFailure::Deadlock { diagnosis, .. }) => Outcome::Deadlock {
@@ -189,33 +189,33 @@ pub fn margins() -> RobustnessReport {
         SkewPs(u64),
         Sigma(f64, u64),
     }
-    let mut items: Vec<(LinkKind, Axis)> = Vec::new();
-    for kind in KINDS {
+    let mut items: Vec<(LinkFamily, Axis)> = Vec::new();
+    for family in FAMILIES {
         for s in SCALE_AXIS {
-            items.push((kind, Axis::Scale(s)));
+            items.push((family, Axis::Scale(s)));
         }
         for ps in SKEW_AXIS_PS {
-            items.push((kind, Axis::SkewPs(ps)));
+            items.push((family, Axis::SkewPs(ps)));
         }
         for sg in SIGMA_AXIS {
             for seed in SIGMA_SEEDS {
-                items.push((kind, Axis::Sigma(sg, seed)));
+                items.push((family, Axis::Sigma(sg, seed)));
             }
         }
     }
     let words = probe_words();
-    let probes = sweep::parallel_map(items, |(kind, axis)| {
+    let probes = sweep::parallel_map(items, |(family, axis)| {
         let mut plan = match axis {
             Axis::Scale(s) => FaultPlan::new(1).with_delay_scale(s).with_setup_check(),
             Axis::SkewPs(ps) => {
                 return Probe {
-                    kind,
+                    family,
                     value: ps as f64,
                     seed: 0,
                     outcome: classify(
-                        kind,
+                        family,
                         FaultPlan::new(1)
-                            .skew_matching(data_wire_substring(kind), Time::from_ps(ps)),
+                            .skew_matching(data_wire_substring(family), Time::from_ps(ps)),
                         &words,
                         1.0,
                     ),
@@ -223,7 +223,7 @@ pub fn margins() -> RobustnessReport {
             }
             Axis::Sigma(sg, seed) => FaultPlan::new(seed).with_delay_sigma(sg),
         };
-        for scope in core_scopes(kind) {
+        for scope in core_scopes(family) {
             plan = plan.in_scope(&scope);
         }
         let (value, seed, slowdown) = match axis {
@@ -231,7 +231,7 @@ pub fn margins() -> RobustnessReport {
             Axis::Sigma(sg, seed) => (sg, seed, 2.0),
             Axis::SkewPs(_) => unreachable!("handled above"),
         };
-        Probe { kind, value, seed, outcome: classify(kind, plan, &words, slowdown) }
+        Probe { family, value, seed, outcome: classify(family, plan, &words, slowdown) }
     })
     .expect("a margin probe panicked");
 
@@ -239,10 +239,10 @@ pub fn margins() -> RobustnessReport {
     let mut skew = Vec::new();
     let mut sigma = Vec::new();
     // parallel_map preserves input order, so re-split by construction
-    // order: per kind, scales first, then skews, then sigmas.
-    let per_kind = SCALE_AXIS.len() + SKEW_AXIS_PS.len() + SIGMA_AXIS.len() * SIGMA_SEEDS.len();
+    // order: per family, scales first, then skews, then sigmas.
+    let per_family = SCALE_AXIS.len() + SKEW_AXIS_PS.len() + SIGMA_AXIS.len() * SIGMA_SEEDS.len();
     for (i, p) in probes.into_iter().enumerate() {
-        match i % per_kind {
+        match i % per_family {
             j if j < SCALE_AXIS.len() => scale.push(p),
             j if j < SCALE_AXIS.len() + SKEW_AXIS_PS.len() => skew.push(p),
             _ => sigma.push(p),
@@ -263,7 +263,7 @@ pub fn deadlock_demo() -> DeadlockDemo {
         fault_plan: Some(plan),
         ..MeasureOptions::default()
     };
-    match run(LinkKind::I2PerTransfer, &LinkConfig::default(), &words, &opts) {
+    match run_spec(&LinkSpec::paper(LinkFamily::PerTransfer), &LinkConfig::default(), &words, &opts) {
         Err(RunFailure::Deadlock { diagnosis, .. }) => {
             let stalled = diagnosis.as_ref().and_then(|d| d.first_label().map(str::to_string));
             let report = diagnosis.map_or_else(|| "no watchdog diagnosis".to_string(), |d| d.to_string());
@@ -277,11 +277,11 @@ pub fn deadlock_demo() -> DeadlockDemo {
     }
 }
 
-/// First axis value at which `kind` fails, scanning in axis order.
+/// First axis value at which `family` fails, scanning in axis order.
 /// `None` = survived the whole sweep. For the sigma axis a value
 /// fails if *any* seed at that value failed.
-pub fn first_failure(probes: &[Probe], kind: LinkKind) -> Option<f64> {
-    probes.iter().find(|p| p.kind == kind && p.outcome.is_failure()).map(|p| p.value)
+pub fn first_failure(probes: &[Probe], family: LinkFamily) -> Option<f64> {
+    probes.iter().find(|p| p.family == family && p.outcome.is_failure()).map(|p| p.value)
 }
 
 fn json_escape(s: &str) -> String {
@@ -323,7 +323,7 @@ fn probe_json(p: &Probe) -> String {
     };
     format!(
         "{{\"kind\": \"{}\", \"value\": {}, \"seed\": {}, \"outcome\": \"{}\"{detail}}}",
-        p.kind.label(),
+        p.family.label(),
         json_f64(p.value),
         p.seed,
         p.outcome.tag()
@@ -332,9 +332,9 @@ fn probe_json(p: &Probe) -> String {
 
 fn axis_json(name: &str, probes: &[Probe]) -> String {
     let points: Vec<String> = probes.iter().map(probe_json).collect();
-    let firsts: Vec<String> = KINDS
+    let firsts: Vec<String> = FAMILIES
         .iter()
-        .map(|&k| format!("\"{}\": {}", k.label(), json_opt_f64(first_failure(probes, k))))
+        .map(|&f| format!("\"{}\": {}", f.label(), json_opt_f64(first_failure(probes, f))))
         .collect();
     format!(
         "  \"{name}\": {{\n    \"first_failure\": {{{}}},\n    \"points\": [\n      {}\n    ]\n  }}",
@@ -371,7 +371,7 @@ mod tests {
     #[test]
     fn first_failure_scans_in_order() {
         let mk = |v: f64, fail: bool| Probe {
-            kind: LinkKind::I2PerTransfer,
+            family: LinkFamily::PerTransfer,
             value: v,
             seed: 0,
             outcome: if fail {
@@ -381,15 +381,15 @@ mod tests {
             },
         };
         let probes = vec![mk(1.0, false), mk(2.0, true), mk(4.0, true)];
-        assert_eq!(first_failure(&probes, LinkKind::I2PerTransfer), Some(2.0));
-        assert_eq!(first_failure(&probes, LinkKind::I1Sync), None);
+        assert_eq!(first_failure(&probes, LinkFamily::PerTransfer), Some(2.0));
+        assert_eq!(first_failure(&probes, LinkFamily::Sync), None);
     }
 
     #[test]
     fn json_is_escaped_and_shaped() {
         let r = RobustnessReport {
             scale: vec![Probe {
-                kind: LinkKind::I1Sync,
+                family: LinkFamily::Sync,
                 value: 8.0,
                 seed: 0,
                 outcome: Outcome::Deadlock { stalled: Some("a \"b\"".into()) },

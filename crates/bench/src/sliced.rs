@@ -28,7 +28,7 @@ use sal_link::measure::MeasureOptions;
 use sal_link::testbench::{
     attach_sync_sink, attach_sync_source, worst_case_pattern, SyncFlitSink, SyncFlitSource,
 };
-use sal_link::{build_link, LinkConfig, LinkKind};
+use sal_link::{generate, LinkConfig, LinkFamily, LinkSpec};
 
 /// Words streamed per campaign run.
 pub const WORDS: usize = 16;
@@ -127,8 +127,9 @@ fn link_sim(cfg: &LinkConfig) -> (Simulator, sal_link::LinkHandles) {
     let opts = MeasureOptions::default();
     let mut sim = Simulator::new();
     let mut builder = CircuitBuilder::new(&mut sim, &opts.lib);
-    let handles = build_link(&mut builder, LinkKind::I2PerTransfer, "link", cfg)
-        .expect("I2 link builds");
+    let spec = LinkSpec::from_config(LinkFamily::PerTransfer, cfg)
+        .expect("campaign config is a valid spec");
+    let handles = generate(&mut builder, &spec, "link", cfg).expect("I2 link builds");
     builder.finish();
     (sim, handles)
 }

@@ -5,8 +5,8 @@
 //! structured [`RunFailure`], never a panic.
 
 use sal_des::Time;
-use sal_link::measure::{run, MeasureOptions, RunFailure};
-use sal_link::{LinkConfig, LinkKind};
+use sal_link::measure::{run_spec, MeasureOptions, RunFailure};
+use sal_link::{LinkConfig, LinkFamily, LinkSpec};
 use sal_tech::{Corner, St012Library};
 
 fn fast_clock_cfg() -> LinkConfig {
@@ -23,7 +23,7 @@ fn i3_fast_clock_across_corners_never_panics() {
         let opts = MeasureOptions::default()
             .with_lib(St012Library::at_corner(corner))
             .with_timeout(Time::from_us(3));
-        match run(LinkKind::I3PerWord, &fast_clock_cfg(), &words(), &opts) {
+        match run_spec(&LinkSpec::paper(LinkFamily::PerWord), &fast_clock_cfg(), &words(), &opts) {
             Ok(r) => {
                 assert_eq!(r.received_words(), words(), "{corner:?} corrupted data");
                 assert!(r.throughput_mflits() > 0.0, "{corner:?} throughput");
@@ -43,7 +43,7 @@ fn i3_typical_corner_delivers_at_1ns_clock() {
     let opts = MeasureOptions::default()
         .with_lib(St012Library::at_corner(Corner::Typical))
         .with_timeout(Time::from_us(3));
-    let r = run(LinkKind::I3PerWord, &fast_clock_cfg(), &words(), &opts)
+    let r = run_spec(&LinkSpec::paper(LinkFamily::PerWord), &fast_clock_cfg(), &words(), &opts)
         .expect("typical corner delivers");
     assert_eq!(r.received_words(), words());
 }
@@ -53,7 +53,7 @@ fn i3_slow_corner_reports_structured_outcome_with_diagnosis() {
     let opts = MeasureOptions::default()
         .with_lib(St012Library::at_corner(Corner::Slow))
         .with_timeout(Time::from_us(3));
-    match run(LinkKind::I3PerWord, &fast_clock_cfg(), &words(), &opts) {
+    match run_spec(&LinkSpec::paper(LinkFamily::PerWord), &fast_clock_cfg(), &words(), &opts) {
         Ok(r) => assert_eq!(r.received_words(), words()),
         Err(RunFailure::Deadlock { at, expected, .. }) => {
             assert_eq!(expected, words().len());

@@ -169,6 +169,20 @@ pub struct NetComponent {
     pub loop_exempt: bool,
 }
 
+/// Generator parameters a bundled-data launch point was built with.
+///
+/// Attached by width/ratio-parameterized generators (the `LinkSpec`
+/// machinery in `sal-link`) so lint reports and timing fixtures can
+/// name the design point a bundle belongs to without re-deriving it
+/// from the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BundleParams {
+    /// Parallel word width the serializer carries, bits.
+    pub word_width: u16,
+    /// Serialization ratio (word width / slice width).
+    pub serial_ratio: u16,
+}
+
 /// A bundled-data launch point: the event on `origin` that launches
 /// both a data transition and the strobe that captures it.
 #[derive(Debug, Clone)]
@@ -184,6 +198,9 @@ pub struct NetBundle {
     /// half-period of its ring oscillator). Zero for same-event
     /// launches.
     pub data_lead: Time,
+    /// Generator parameters, when the bundle came from a
+    /// parameterized generator (`None` for hand-registered bundles).
+    pub params: Option<BundleParams>,
 }
 
 /// A bundled-data capture point: `trigger` closes a storage element

@@ -5,7 +5,8 @@ use crate::component::{Component, ComponentId, Ctx};
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultPlan, FaultState};
 use crate::netgraph::{
-    CellClass, NetBundle, NetCapture, NetComponent, NetGraph, NetMeta, NetSignal, NetWatch,
+    BundleParams, CellClass, NetBundle, NetCapture, NetComponent, NetGraph, NetMeta, NetSignal,
+    NetWatch,
 };
 use crate::scope::{ScopeId, ScopePath, ScopeTree};
 use crate::signal::{SignalId, SignalInfo, SignalState};
@@ -708,7 +709,33 @@ impl Simulator {
     /// over the strobe event at the origin (zero when both are the
     /// same transition).
     pub fn register_bundle(&mut self, label: &str, origin: SignalId, data_lead: Time) {
-        self.net.bundles.push(NetBundle { label: label.to_string(), origin, data_lead });
+        self.net.bundles.push(NetBundle {
+            label: label.to_string(),
+            origin,
+            data_lead,
+            params: None,
+        });
+    }
+
+    /// Registers a bundled-data launch point annotated with the
+    /// generator parameters it was built under (word width and
+    /// serialization ratio), so lint output and timing fixtures can
+    /// name the design point. Identical to
+    /// [`register_bundle`](Simulator::register_bundle) for the timing
+    /// pass itself — the annotation is metadata only.
+    pub fn register_bundle_with(
+        &mut self,
+        label: &str,
+        origin: SignalId,
+        data_lead: Time,
+        params: BundleParams,
+    ) {
+        self.net.bundles.push(NetBundle {
+            label: label.to_string(),
+            origin,
+            data_lead,
+            params: Some(params),
+        });
     }
 
     /// Registers a bundled-data capture point: `trigger` closes a

@@ -7,6 +7,7 @@ use sal_des::{SignalId, Time};
 
 use crate::protect::{build_checker, build_protector};
 use crate::retry::{build_retry, RetryPorts};
+use crate::spec::LinkFamily;
 use crate::{
     build_as_interface, build_deserializer, build_sa_interface, build_serializer,
     build_sync_pipeline, build_wire_buffer, build_word_deserializer,
@@ -14,7 +15,12 @@ use crate::{
     LinkConfig, ProtectionMode, RecoverySignals, WordRxStyle,
 };
 
-/// Which of the paper's three implementations a handle refers to.
+/// Which of the paper's three fixed implementations a handle refers
+/// to — the pre-`LinkSpec` name for a [`LinkFamily`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use `LinkFamily` and the declarative `LinkSpec` API (see DESIGN.md §5g)"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[derive(serde::Serialize, serde::Deserialize)]
 pub enum LinkKind {
@@ -26,21 +32,42 @@ pub enum LinkKind {
     I3PerWord,
 }
 
+#[allow(deprecated)]
 impl LinkKind {
+    /// The [`LinkFamily`] this kind names.
+    pub fn family(self) -> LinkFamily {
+        match self {
+            LinkKind::I1Sync => LinkFamily::Sync,
+            LinkKind::I2PerTransfer => LinkFamily::PerTransfer,
+            LinkKind::I3PerWord => LinkFamily::PerWord,
+        }
+    }
+
     /// The paper's label (I1/I2/I3).
     pub fn label(self) -> &'static str {
-        match self {
-            LinkKind::I1Sync => "I1",
-            LinkKind::I2PerTransfer => "I2",
-            LinkKind::I3PerWord => "I3",
-        }
+        self.family().label()
     }
 
     /// Number of switch-to-switch wires this link needs.
     pub fn wires(self, cfg: &LinkConfig) -> u32 {
-        match self {
-            LinkKind::I1Sync => cfg.wires_sync(),
-            _ => cfg.wires_async(),
+        self.family().wires(cfg)
+    }
+}
+
+#[allow(deprecated)]
+impl From<LinkKind> for LinkFamily {
+    fn from(kind: LinkKind) -> LinkFamily {
+        kind.family()
+    }
+}
+
+#[allow(deprecated)]
+impl From<LinkFamily> for LinkKind {
+    fn from(family: LinkFamily) -> LinkKind {
+        match family {
+            LinkFamily::Sync => LinkKind::I1Sync,
+            LinkFamily::PerTransfer => LinkKind::I2PerTransfer,
+            LinkFamily::PerWord => LinkKind::I3PerWord,
         }
     }
 }
@@ -49,8 +76,8 @@ impl LinkKind {
 /// built link.
 #[derive(Debug, Clone)]
 pub struct LinkHandles {
-    /// Which implementation was built.
-    pub kind: LinkKind,
+    /// Which link family was built.
+    pub family: LinkFamily,
     /// The switch clock (shared by both ends, as in the paper).
     pub clk: SignalId,
     /// Global active-low reset (testbench-driven).
@@ -123,7 +150,7 @@ pub(crate) fn build_i1(
         return Err(e);
     }
     Ok(LinkHandles {
-        kind: LinkKind::I1Sync,
+        family: LinkFamily::Sync,
         clk,
         rstn,
         flit_in,
@@ -321,7 +348,7 @@ pub(crate) fn build_i2(
         return Err(e);
     }
     Ok(LinkHandles {
-        kind: LinkKind::I2PerTransfer,
+        family: LinkFamily::PerTransfer,
         clk,
         rstn,
         flit_in,
@@ -515,7 +542,7 @@ pub(crate) fn build_i3(
         return Err(e);
     }
     Ok(LinkHandles {
-        kind: LinkKind::I3PerWord,
+        family: LinkFamily::PerWord,
         clk,
         rstn,
         flit_in,
@@ -534,19 +561,19 @@ pub(crate) fn build_i3(
     })
 }
 
-/// Builds a link of the given kind in scope `name` — the single
-/// public constructor for all three implementations (sweeps select
-/// via [`LinkKind`]).
-pub fn build_link(
+/// Builds a link of the given family in scope `name` — the assembly
+/// dispatcher behind [`generate`](crate::generate) and the deprecated
+/// [`build_link`] shim.
+pub(crate) fn build_family(
     b: &mut CircuitBuilder<'_>,
-    kind: LinkKind,
+    family: LinkFamily,
     name: &str,
     cfg: &LinkConfig,
 ) -> Result<LinkHandles, BuildError> {
-    let handles = match kind {
-        LinkKind::I1Sync => build_i1(b, name, cfg),
-        LinkKind::I2PerTransfer => build_i2(b, name, cfg),
-        LinkKind::I3PerWord => build_i3(b, name, cfg),
+    let handles = match family {
+        LinkFamily::Sync => build_i1(b, name, cfg),
+        LinkFamily::PerTransfer => build_i2(b, name, cfg),
+        LinkFamily::PerWord => build_i3(b, name, cfg),
     }?;
     // In debug builds (every test run), fail fast on netlists that
     // violate the structural invariants the links rely on. The lint
@@ -572,59 +599,56 @@ pub fn build_link(
     Ok(handles)
 }
 
+/// Builds a link of the given kind in scope `name`.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `generate` with a `LinkSpec` (see DESIGN.md §5g)"
+)]
+#[allow(deprecated)]
+pub fn build_link(
+    b: &mut CircuitBuilder<'_>,
+    kind: LinkKind,
+    name: &str,
+    cfg: &LinkConfig,
+) -> Result<LinkHandles, BuildError> {
+    build_family(b, kind.family(), name, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::measure::{run, MeasureOptions};
+    use crate::measure::{run_spec, MeasureOptions};
     use crate::testbench::worst_case_pattern;
+    use crate::LinkSpec;
 
     #[test]
-    fn i1_transfers_worst_case_pattern() {
-        let cfg = LinkConfig::default();
-        let r = run(LinkKind::I1Sync, &cfg, &worst_case_pattern(4, 32), &MeasureOptions::default())
-            .expect("clean run");
-        assert_eq!(r.received_words(), worst_case_pattern(4, 32));
-    }
-
-    #[test]
-    fn i2_transfers_worst_case_pattern() {
-        let cfg = LinkConfig::default();
-        let r = run(
-            LinkKind::I2PerTransfer,
-            &cfg,
-            &worst_case_pattern(4, 32),
-            &MeasureOptions::default(),
-        )
-        .expect("clean run");
-        assert_eq!(r.received_words(), worst_case_pattern(4, 32));
-    }
-
-    #[test]
-    fn i3_transfers_worst_case_pattern() {
-        let cfg = LinkConfig::default();
-        let r = run(
-            LinkKind::I3PerWord,
-            &cfg,
-            &worst_case_pattern(4, 32),
-            &MeasureOptions::default(),
-        )
-        .expect("clean run");
-        assert_eq!(r.received_words(), worst_case_pattern(4, 32));
+    fn paper_specs_transfer_worst_case_pattern() {
+        for family in LinkFamily::ALL {
+            let spec = LinkSpec::paper(family);
+            let words = worst_case_pattern(4, 32);
+            let r = run_spec(&spec, &LinkConfig::default(), &words, &MeasureOptions::default())
+                .expect("clean run");
+            assert_eq!(r.received_words(), words, "{}", family.label());
+        }
     }
 
     #[test]
     fn all_links_all_buffer_counts() {
-        for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        for family in LinkFamily::ALL {
             for buffers in [2u32, 4, 6, 8] {
-                let cfg = LinkConfig { buffers, ..LinkConfig::default() };
+                let spec = LinkSpec::builder()
+                    .family(family)
+                    .buffer_depth(buffers)
+                    .build()
+                    .expect("valid spec");
                 let words = worst_case_pattern(4, 32);
-                let r = run(kind, &cfg, &words, &MeasureOptions::default())
+                let r = run_spec(&spec, &LinkConfig::default(), &words, &MeasureOptions::default())
                     .expect("clean run");
                 assert_eq!(
                     r.received_words(),
                     words,
                     "{} with {buffers} buffers corrupted data",
-                    kind.label()
+                    family.label()
                 );
             }
         }
@@ -633,18 +657,27 @@ mod tests {
     #[test]
     fn protected_links_transfer_cleanly() {
         use crate::ProtectionMode;
-        for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        for family in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
             for protection in [ProtectionMode::Parity, ProtectionMode::Crc8] {
-                let cfg = LinkConfig { protection, ..LinkConfig::default() };
+                let spec = LinkSpec::builder()
+                    .family(family)
+                    .protection(protection)
+                    .build()
+                    .expect("valid spec");
                 let words = worst_case_pattern(4, 32);
-                let r = run(kind, &cfg, &words, &MeasureOptions::default()).unwrap_or_else(|e| {
-                    panic!("{} with {} protection failed: {e}", kind.label(), protection.label())
-                });
+                let r = run_spec(&spec, &LinkConfig::default(), &words, &MeasureOptions::default())
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} with {} protection failed: {e}",
+                            family.label(),
+                            protection.label()
+                        )
+                    });
                 assert_eq!(
                     r.received_words(),
                     words,
                     "{} with {} protection corrupted data",
-                    kind.label(),
+                    family.label(),
                     protection.label()
                 );
             }
@@ -653,15 +686,43 @@ mod tests {
 
     #[test]
     fn async_links_survive_300mhz_switch_clock() {
-        let cfg = LinkConfig {
+        let base = LinkConfig {
             clk_period: sal_des::Time::from_ns_f64(10.0 / 3.0),
             ..LinkConfig::default()
         };
-        for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+        for family in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
             let words: Vec<u64> = (0..12).map(|i| (i * 0x2468_ACE1) & 0xFFFF_FFFF).collect();
-            let r = run(kind, &cfg, &words, &MeasureOptions::default())
+            let r = run_spec(&LinkSpec::paper(family), &base, &words, &MeasureOptions::default())
                 .expect("clean run");
-            assert_eq!(r.received_words(), words, "{}", kind.label());
+            assert_eq!(r.received_words(), words, "{}", family.label());
+        }
+    }
+
+    /// The deprecated kind-based shims must keep building the exact
+    /// same netlists the spec path generates.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_spec_path() {
+        use crate::measure::run;
+        let words = worst_case_pattern(4, 32);
+        for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+            let old = run(kind, &LinkConfig::default(), &words, &MeasureOptions::default())
+                .expect("clean run");
+            let new = run_spec(
+                &LinkSpec::paper(kind.family()),
+                &LinkConfig::default(),
+                &words,
+                &MeasureOptions::default(),
+            )
+            .expect("clean run");
+            assert_eq!(old.received, new.received, "{}", kind.label());
+            assert_eq!(
+                old.total_power_uw().to_bits(),
+                new.total_power_uw().to_bits(),
+                "{} energies diverge between shim and spec path",
+                kind.label()
+            );
+            assert_eq!(old.family, kind.family());
         }
     }
 }

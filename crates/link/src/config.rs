@@ -72,7 +72,7 @@ pub struct LinkConfig {
 }
 
 /// Error-detection scheme layered over the serialized wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ProtectionMode {
     /// No protection: the seed datapath, bit-identical netlist (the
     /// generator/checker/retry blocks are not built at all).

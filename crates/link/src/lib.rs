@@ -1,27 +1,34 @@
 //! # sal-link — serialized asynchronous NoC links
 //!
-//! Gate-level implementations of the three switch-to-switch links
-//! evaluated in *Serialized Asynchronous Links for NoC* (Ogg, Valli,
-//! Al-Hashimi, Yakovlev, D'Alessandro, Benini — DATE 2008):
+//! Gate-level implementations of the three switch-to-switch link
+//! families evaluated in *Serialized Asynchronous Links for NoC*
+//! (Ogg, Valli, Al-Hashimi, Yakovlev, D'Alessandro, Benini — DATE
+//! 2008):
 //!
-//! * **I1** ([`LinkKind::I1Sync`]) — the fully synchronous reference:
+//! * **I1** ([`LinkFamily::Sync`]) — the fully synchronous reference:
 //!   an `m`-bit parallel link with clocked pipeline buffers (paper
 //!   Fig 9, top).
-//! * **I2** ([`LinkKind::I2PerTransfer`]) — the proposed asynchronous
+//! * **I2** ([`LinkFamily::PerTransfer`]) — the proposed asynchronous
 //!   serialized link with **per-transfer acknowledgement**: a
 //!   sync→async FIFO interface (Fig 4), an `m→n` David-cell
 //!   serializer (Fig 6a), four-phase bundled-data wire buffers, an
 //!   `n→m` deserializer (Fig 6b) and an async→sync FIFO interface
 //!   (Fig 5).
-//! * **I3** ([`LinkKind::I3PerWord`]) — the **per-word
+//! * **I3** ([`LinkFamily::PerWord`]) — the **per-word
 //!   acknowledgement** variant (Fig 7/8): the serializer paces a
 //!   burst of slices with a local ring oscillator and a
 //!   source-synchronous `VALID` strobe, the wire repeaters are plain
 //!   inverter pairs, the deserializer is a shift register, and a
 //!   single acknowledge wire runs back per word.
 //!
-//! All three are assembled through one constructor, [`build_link`],
-//! selected by [`LinkKind`].
+//! Where the paper fixes each family at a 32-bit word and 4:1
+//! serialization ratio, this crate generates the whole design space:
+//! a declarative [`LinkSpec`] — family × word width × ratio × buffer
+//! depth × protection — is validated up front ([`SpecError`]) and
+//! compiled to a netlist by [`generate`], lint-clean by construction.
+//! The paper's three links are just [`LinkSpec::paper`] points. The
+//! pre-spec names ([`LinkKind`], [`build_link`], [`run`]) remain as
+//! deprecated shims over the same assembly.
 //!
 //! Every block is built from `sal-cells` primitives through the
 //! [`CircuitBuilder`](sal_cells::CircuitBuilder), so the technology
@@ -52,6 +59,7 @@ mod retry;
 mod sa_interface;
 mod scoreboard;
 mod serializer;
+mod spec;
 mod sync_link;
 pub mod measure;
 pub mod metrics;
@@ -61,12 +69,19 @@ mod word_deserializer;
 mod word_serializer;
 
 pub use as_interface::{build_as_interface, AsInterfacePorts};
-pub use assembly::{build_link, LinkHandles, LinkKind};
+#[allow(deprecated)]
+pub use assembly::LinkKind;
+pub use assembly::LinkHandles;
+#[allow(deprecated)]
+pub use assembly::build_link;
 pub use config::{ConfigError, LinkConfig, ProtectionMode, WordRxStyle};
 pub use deserializer::{build_deserializer, DeserializerPorts};
+#[allow(deprecated)]
+pub use measure::run;
 pub use measure::{
-    run, BlockPower, LinkRun, MeasureOptions, RunFailure, TraceMode,
+    run_spec, BlockPower, LinkRun, MeasureOptions, RunFailure, TraceMode,
 };
+pub use spec::{generate, LinkFamily, LinkSpec, LinkSpecBuilder, RetryConfig, SpecError};
 pub use metrics::{
     BlockAttribution, BurstStats, HandshakeStats, Histogram, InFlightDepth, LinkMetrics,
     Occupancy,

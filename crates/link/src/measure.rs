@@ -23,15 +23,16 @@ use sal_tech::{clock_power_uw, PowerBreakdown, PowerMeter, St012Library};
 use std::cell::Cell;
 use std::rc::Rc;
 
-use crate::assembly::build_link;
+use crate::assembly::build_family;
 use crate::config::ConfigError;
 use crate::metrics::{self, LinkMetrics};
 use crate::retry::RecoverySignals;
 use crate::scoreboard::{check_integrity, IntegrityCounts, RecoveryCounts};
+use crate::spec::{LinkFamily, LinkSpec, SpecError};
 use crate::testbench::{
     attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource,
 };
-use crate::{LinkConfig, LinkKind};
+use crate::LinkConfig;
 
 /// How much of the transition trace a run retains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,15 +51,24 @@ pub enum TraceMode {
 /// Options for a measured link run.
 ///
 /// Construct with [`MeasureOptions::default`] and layer adjustments
-/// with the builder methods:
+/// with the builder methods. Protection and retry policy belong on
+/// the [`LinkSpec`], not here — options only shape *how* a run is
+/// observed, never *what* link is generated:
 ///
 /// ```
-/// use sal_link::{MeasureOptions, TraceMode};
+/// use sal_link::{run_spec, LinkConfig, LinkFamily, LinkSpec, MeasureOptions};
+/// use sal_link::{ProtectionMode, TraceMode};
+/// let spec = LinkSpec::builder()
+///     .family(LinkFamily::PerTransfer)
+///     .protection(ProtectionMode::Parity)
+///     .build()
+///     .unwrap();
 /// let opts = MeasureOptions::default()
 ///     .with_usage(0.5)
 ///     .with_trace(TraceMode::Full)
 ///     .with_metrics();
-/// assert!(opts.metrics);
+/// let run = run_spec(&spec, &LinkConfig::default(), &[1, 2], &opts).unwrap();
+/// assert!(run.trace.is_some() && run.metrics().is_some());
 /// ```
 #[derive(Debug, Clone)]
 pub struct MeasureOptions {
@@ -127,48 +137,77 @@ impl Default for MeasureOptions {
 
 impl MeasureOptions {
     /// Sets the usage factor the power is averaged at.
+    #[must_use]
     pub fn with_usage(mut self, usage: f64) -> Self {
         self.usage = usage;
         self
     }
 
     /// Sets the deadlock timeout.
+    #[must_use]
     pub fn with_timeout(mut self, timeout: Time) -> Self {
         self.timeout = timeout;
         self
     }
 
     /// Sets the technology library.
+    #[must_use]
     pub fn with_lib(mut self, lib: St012Library) -> Self {
         self.lib = lib;
         self
     }
 
     /// Fixes the averaging window (the paper's same-run-time protocol).
+    #[must_use]
     pub fn with_window(mut self, window: Time) -> Self {
         self.window_override = Some(window);
         self
     }
 
     /// Applies a fault plan before the run.
+    ///
+    /// Composes with the declarative spec API: the spec decides what
+    /// protection the generated link carries, the options decide what
+    /// faults the measurement injects.
+    ///
+    /// ```
+    /// use sal_des::{FaultPlan, Time};
+    /// use sal_link::{run_spec, LinkConfig, LinkSpec, MeasureOptions, ProtectionMode, TraceMode};
+    /// let spec = LinkSpec::builder().protection(ProtectionMode::Crc8).build().unwrap();
+    /// let opts = MeasureOptions::default()
+    ///     .with_fault_plan(FaultPlan::new(7))
+    ///     .with_trace(TraceMode::Ring(256));
+    /// let run = run_spec(&spec, &LinkConfig::default(), &[3, 4], &opts).unwrap();
+    /// assert!(run.recovery.expect("protected link carries counters").is_quiet());
+    /// ```
+    #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
     }
 
     /// Sets the reset assertion time.
+    #[must_use]
     pub fn with_reset_hold(mut self, hold: Time) -> Self {
         self.reset_hold = hold;
         self
     }
 
     /// Retains the transition trace on the returned [`LinkRun`].
+    ///
+    /// ```
+    /// use sal_link::{MeasureOptions, TraceMode};
+    /// let opts = MeasureOptions::default().with_trace(TraceMode::Ring(64));
+    /// assert_eq!(opts.trace, TraceMode::Ring(64));
+    /// ```
+    #[must_use]
     pub fn with_trace(mut self, mode: TraceMode) -> Self {
         self.trace = mode;
         self
     }
 
     /// Computes the [`LinkMetrics`] report for the run.
+    #[must_use]
     pub fn with_metrics(mut self) -> Self {
         self.metrics = true;
         self
@@ -186,6 +225,7 @@ impl MeasureOptions {
     /// assert_eq!(opts.watchdog_horizon, Some(1_000_000));
     /// assert_eq!(MeasureOptions::default().watchdog_horizon, None);
     /// ```
+    #[must_use]
     pub fn with_watchdog_horizon(mut self, events: u64) -> Self {
         self.watchdog_horizon = Some(events);
         self
@@ -199,6 +239,7 @@ impl MeasureOptions {
     /// assert!(MeasureOptions::default().compiled);
     /// assert!(!MeasureOptions::default().without_compile().compiled);
     /// ```
+    #[must_use]
     pub fn without_compile(mut self) -> Self {
         self.compiled = false;
         self
@@ -212,6 +253,10 @@ pub enum RunFailure {
     /// usage factor) is inconsistent — reported before anything is
     /// built.
     Config(ConfigError),
+    /// A [`LinkSpec`] could not be constructed (call sites that build
+    /// the spec inline propagate the builder's typed error here; the
+    /// [`SpecError`] is the [`source`](std::error::Error::source)).
+    Spec(SpecError),
     /// The netlist could not be constructed (double drivers…).
     Build(BuildError),
     /// The fault plan named a signal that does not exist.
@@ -221,8 +266,8 @@ pub enum RunFailure {
     /// watchdog recognises a stalled req/ack pair, `diagnosis` names
     /// it.
     Deadlock {
-        /// Link label (I1/I2/I3).
-        kind: LinkKind,
+        /// The link family that wedged.
+        family: LinkFamily,
         /// Words delivered before the stall.
         delivered: usize,
         /// Words expected.
@@ -245,13 +290,14 @@ impl std::fmt::Display for RunFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunFailure::Config(e) => write!(f, "invalid configuration: {e}"),
+            RunFailure::Spec(e) => write!(f, "invalid link spec: {e}"),
             RunFailure::Build(e) => write!(f, "netlist construction failed: {e}"),
             RunFailure::Fault(e) => write!(f, "fault plan rejected: {e}"),
-            RunFailure::Deadlock { kind, delivered, expected, at, diagnosis, recovery } => {
+            RunFailure::Deadlock { family, delivered, expected, at, diagnosis, recovery } => {
                 write!(
                     f,
                     "{} deadlocked: {delivered}/{expected} words delivered by {at}",
-                    kind.label()
+                    family.label()
                 )?;
                 if let Some(r) = recovery {
                     write!(f, " (recovery: {r})")?;
@@ -270,6 +316,7 @@ impl std::error::Error for RunFailure {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunFailure::Config(e) => Some(e),
+            RunFailure::Spec(e) => Some(e),
             RunFailure::Build(e) => Some(e),
             RunFailure::Fault(e) | RunFailure::Sim(e) => Some(e),
             RunFailure::Deadlock { .. } => None,
@@ -277,12 +324,23 @@ impl std::error::Error for RunFailure {
     }
 }
 
+impl From<SpecError> for RunFailure {
+    fn from(e: SpecError) -> Self {
+        RunFailure::Spec(e)
+    }
+}
+
 /// The outcome of one measured transfer.
 #[derive(Debug)]
 pub struct LinkRun {
-    /// Which link was measured.
-    pub kind: LinkKind,
-    /// The configuration measured.
+    /// Which link family was measured.
+    pub family: LinkFamily,
+    /// The spec the link was generated from, when the run came in
+    /// through [`run_spec`] (or the deprecated shim could recover
+    /// one from its config).
+    pub spec: Option<LinkSpec>,
+    /// The effective configuration measured (spec merged onto the
+    /// physical base).
     pub cfg: LinkConfig,
     /// `(time, word)` accepted from the sending switch.
     pub sent: Vec<(Time, u64)>,
@@ -458,22 +516,58 @@ impl RecoveryProbes {
     }
 }
 
-/// Runs `words` through a freshly built link of `kind` and measures
-/// power per the paper's protocol. The single entry point for link
-/// measurement: misconfiguration, build failures, bad fault plans and
-/// deadlocks all come back as a structured [`RunFailure`] — never a
-/// panic.
+/// Runs `words` through a freshly generated link described by `spec`
+/// and measures power per the paper's protocol. The single entry
+/// point for link measurement: misconfiguration, build failures, bad
+/// fault plans and deadlocks all come back as a structured
+/// [`RunFailure`] — never a panic.
+///
+/// `base` supplies the physical parameters the spec does not name
+/// (wire length, clock period, FIFO depth, oscillator stages); the
+/// spec decides word width, serialization ratio, buffer count,
+/// protection and retry policy.
 ///
 /// ```
-/// use sal_link::{run, LinkConfig, LinkKind, MeasureOptions};
+/// use sal_link::{run_spec, LinkConfig, LinkFamily, LinkSpec, MeasureOptions};
+/// let spec = LinkSpec::builder().family(LinkFamily::PerTransfer).build().unwrap();
 /// let words = vec![0xAAAA_AAAA, 0x5555_5555];
-/// let run = run(LinkKind::I2PerTransfer, &LinkConfig::default(), &words,
-///               &MeasureOptions::default()).unwrap();
+/// let run = run_spec(&spec, &LinkConfig::default(), &words,
+///                    &MeasureOptions::default()).unwrap();
 /// assert_eq!(run.received_words(), words);
 /// ```
+pub fn run_spec(
+    spec: &LinkSpec,
+    base: &LinkConfig,
+    words: &[u64],
+    opts: &MeasureOptions,
+) -> Result<LinkRun, RunFailure> {
+    let cfg = spec.apply(base);
+    run_family(spec.family(), &cfg, Some(spec.clone()), words, opts)
+}
+
+/// Runs `words` through a freshly built link of `kind` under the
+/// exact configuration `cfg`.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `run_spec` with a `LinkSpec` (see DESIGN.md §5g)"
+)]
+#[allow(deprecated)]
 pub fn run(
-    kind: LinkKind,
+    kind: crate::LinkKind,
     cfg: &LinkConfig,
+    words: &[u64],
+    opts: &MeasureOptions,
+) -> Result<LinkRun, RunFailure> {
+    let spec = LinkSpec::from_config(kind.family(), cfg).ok();
+    run_family(kind.family(), cfg, spec, words, opts)
+}
+
+/// The measurement protocol shared by [`run_spec`] and the deprecated
+/// [`run`] shim: `cfg` is the final effective configuration.
+fn run_family(
+    family: LinkFamily,
+    cfg: &LinkConfig,
+    spec: Option<LinkSpec>,
     words: &[u64],
     opts: &MeasureOptions,
 ) -> Result<LinkRun, RunFailure> {
@@ -483,7 +577,7 @@ pub fn run(
     }
     let mut sim = Simulator::new();
     let mut builder = CircuitBuilder::new(&mut sim, &opts.lib);
-    let handles = build_link(&mut builder, kind, "link", cfg).map_err(RunFailure::Build)?;
+    let handles = build_family(&mut builder, family, "link", cfg).map_err(RunFailure::Build)?;
     let area = builder.finish();
     if let Some(plan) = &opts.fault_plan {
         sim.apply_fault_plan(plan).map_err(RunFailure::Fault)?;
@@ -544,7 +638,7 @@ pub fn run(
         }
         if now >= opts.timeout {
             return Err(RunFailure::Deadlock {
-                kind,
+                family,
                 delivered: received.borrow().len(),
                 expected: words.len(),
                 at: now,
@@ -558,7 +652,7 @@ pub fn run(
                 // The kernel already ran the watchdog when it gave up;
                 // reuse its analysis rather than re-deriving it.
                 return Err(RunFailure::Deadlock {
-                    kind,
+                    family,
                     delivered: received.borrow().len(),
                     expected: words.len(),
                     at,
@@ -619,7 +713,7 @@ pub fn run(
                 .map(|(label, req, ack)| (label.to_string(), req, ack))
                 .collect();
             metrics::compute(&metrics::MetricsInputs {
-                kind,
+                family,
                 scope: &handles.scope,
                 dump,
                 watches: &watches,
@@ -637,7 +731,8 @@ pub fn run(
     let trace = if opts.trace == TraceMode::Off { None } else { dump };
 
     Ok(LinkRun {
-        kind,
+        family,
+        spec,
         cfg: cfg.clone(),
         sent,
         received,
@@ -660,13 +755,18 @@ pub fn run(
 mod tests {
     use super::*;
     use crate::testbench::worst_case_pattern;
+    use crate::LinkSpec;
+
+    fn paper(family: LinkFamily) -> LinkSpec {
+        LinkSpec::paper(family)
+    }
 
     #[test]
     fn paper_protocol_four_flits_at_100mhz() {
         let cfg = LinkConfig::default();
         let words = worst_case_pattern(4, 32);
-        let run =
-            run(LinkKind::I1Sync, &cfg, &words, &MeasureOptions::default()).expect("clean run");
+        let run = run_spec(&paper(LinkFamily::Sync), &cfg, &words, &MeasureOptions::default())
+            .expect("clean run");
         assert_eq!(run.received_words(), words);
         // 4 flits over a pipeline: in-use time is a handful of cycles,
         // the same order as the paper's ≈70 ns at 100 MHz.
@@ -686,7 +786,7 @@ mod tests {
     fn block_power_sums_to_total() {
         let cfg = LinkConfig::default();
         let words = worst_case_pattern(4, 32);
-        let run = run(LinkKind::I2PerTransfer, &cfg, &words, &MeasureOptions::default())
+        let run = run_spec(&paper(LinkFamily::PerTransfer), &cfg, &words, &MeasureOptions::default())
             .expect("clean run");
         let bp = run.block_power();
         let sum = bp.conv_uw + bp.serdes_uw + bp.buffers_uw + bp.other_uw;
@@ -701,7 +801,7 @@ mod tests {
     fn area_reported_per_link() {
         let cfg = LinkConfig::default();
         let words = worst_case_pattern(2, 32);
-        let run = run(LinkKind::I3PerWord, &cfg, &words, &MeasureOptions::default())
+        let run = run_spec(&paper(LinkFamily::PerWord), &cfg, &words, &MeasureOptions::default())
             .expect("clean run");
         assert!(run.area_um2() > 1000.0, "area {} implausibly small", run.area_um2());
     }
@@ -709,7 +809,7 @@ mod tests {
     #[test]
     fn bad_config_is_a_config_error_not_a_panic() {
         let cfg = LinkConfig { slice_width: 5, ..Default::default() };
-        let err = run(LinkKind::I2PerTransfer, &cfg, &[1], &MeasureOptions::default())
+        let err = run_family(LinkFamily::PerTransfer, &cfg, None, &[1], &MeasureOptions::default())
             .expect_err("misconfigured");
         assert!(matches!(
             err,
@@ -718,9 +818,22 @@ mod tests {
     }
 
     #[test]
+    fn bad_spec_is_a_spec_error_with_a_source() {
+        use std::error::Error as _;
+        let err: RunFailure = crate::LinkSpec::builder()
+            .word_width(65)
+            .build()
+            .map_err(RunFailure::from)
+            .expect_err("invalid spec");
+        assert!(matches!(err, RunFailure::Spec(SpecError::WordWidth { width: 65 })));
+        let src = err.source().expect("Spec failures chain to the typed SpecError");
+        assert!(src.downcast_ref::<SpecError>().is_some());
+    }
+
+    #[test]
     fn bad_usage_is_a_config_error() {
         let opts = MeasureOptions::default().with_usage(0.0);
-        let err = run(LinkKind::I1Sync, &LinkConfig::default(), &[1], &opts)
+        let err = run_spec(&paper(LinkFamily::Sync), &LinkConfig::default(), &[1], &opts)
             .expect_err("usage 0 rejected");
         assert!(matches!(err, RunFailure::Config(ConfigError::UsageOutOfRange { .. })));
     }
@@ -730,7 +843,7 @@ mod tests {
         let cfg = LinkConfig::default();
         let words = worst_case_pattern(2, 32);
         let opts = MeasureOptions::default().with_trace(TraceMode::Full);
-        let run = run(LinkKind::I2PerTransfer, &cfg, &words, &opts).expect("clean run");
+        let run = run_spec(&paper(LinkFamily::PerTransfer), &cfg, &words, &opts).expect("clean run");
         let dump = run.trace.as_ref().expect("trace retained");
         assert!(!dump.records.is_empty());
         assert!(!dump.signals.is_empty());
@@ -743,7 +856,7 @@ mod tests {
         let cfg = LinkConfig::default();
         let words = worst_case_pattern(2, 32);
         let opts = MeasureOptions::default().with_trace(TraceMode::Ring(64));
-        let run = run(LinkKind::I2PerTransfer, &cfg, &words, &opts).expect("clean run");
+        let run = run_spec(&paper(LinkFamily::PerTransfer), &cfg, &words, &opts).expect("clean run");
         let dump = run.trace.as_ref().expect("trace retained");
         assert_eq!(dump.records.len(), 64);
         // The ring keeps the tail: records stay in commit order.
@@ -756,7 +869,7 @@ mod tests {
     fn run_failures_chain_their_sources() {
         use std::error::Error as _;
         let cfg = LinkConfig { slice_width: 5, ..Default::default() };
-        let err = run(LinkKind::I2PerTransfer, &cfg, &[1], &MeasureOptions::default())
+        let err = run_family(LinkFamily::PerTransfer, &cfg, None, &[1], &MeasureOptions::default())
             .expect_err("misconfigured");
         let src = err.source().expect("Config failures chain to the typed ConfigError");
         assert!(src.downcast_ref::<ConfigError>().is_some());
@@ -768,7 +881,7 @@ mod tests {
             Time::from_ps(100),
             1,
         ));
-        let err = run(LinkKind::I2PerTransfer, &LinkConfig::default(), &[1, 2], &opts)
+        let err = run_spec(&paper(LinkFamily::PerTransfer), &LinkConfig::default(), &[1, 2], &opts)
             .expect_err("unknown fault target");
         assert!(matches!(err, RunFailure::Fault(_)));
         assert!(err.source().expect("chained").downcast_ref::<SimError>().is_some());
@@ -781,10 +894,11 @@ mod tests {
         // A budget far too small for even one word: the event-limit
         // watchdog fires and the run comes back as a deadlock.
         let opts = MeasureOptions::default().with_watchdog_horizon(2_000);
-        let err = run(LinkKind::I2PerTransfer, &cfg, &words, &opts).expect_err("budget exceeded");
+        let err = run_spec(&paper(LinkFamily::PerTransfer), &cfg, &words, &opts)
+            .expect_err("budget exceeded");
         assert!(matches!(err, RunFailure::Deadlock { .. }));
         // The default (None) leaves the kernel limit alone.
-        run(LinkKind::I2PerTransfer, &cfg, &words, &MeasureOptions::default())
+        run_spec(&paper(LinkFamily::PerTransfer), &cfg, &words, &MeasureOptions::default())
             .expect("clean run under the kernel default");
     }
 
@@ -792,16 +906,16 @@ mod tests {
     fn protected_run_reports_quiet_recovery_counts() {
         use crate::ProtectionMode;
         let words = worst_case_pattern(4, 32);
-        let r = run(
-            LinkKind::I2PerTransfer,
+        let r = run_spec(
+            &paper(LinkFamily::PerTransfer),
             &LinkConfig::default(),
             &words,
             &MeasureOptions::default(),
         )
         .expect("clean run");
         assert!(r.recovery.is_none(), "no probes on an unprotected link");
-        let cfg = LinkConfig { protection: ProtectionMode::Crc8, ..LinkConfig::default() };
-        let r = run(LinkKind::I2PerTransfer, &cfg, &words, &MeasureOptions::default())
+        let spec = LinkSpec::builder().protection(ProtectionMode::Crc8).build().unwrap();
+        let r = run_spec(&spec, &LinkConfig::default(), &words, &MeasureOptions::default())
             .expect("clean run");
         let rec = r.recovery.expect("protected runs carry recovery counts");
         assert!(rec.is_quiet(), "fault-free run should need no recovery: {rec}");
@@ -813,7 +927,7 @@ mod tests {
         let cfg = LinkConfig::default();
         let words = worst_case_pattern(2, 32);
         let opts = MeasureOptions::default().with_metrics();
-        let run = run(LinkKind::I2PerTransfer, &cfg, &words, &opts).expect("clean run");
+        let run = run_spec(&paper(LinkFamily::PerTransfer), &cfg, &words, &opts).expect("clean run");
         assert!(run.trace.is_none());
         let m = run.metrics().expect("metrics computed");
         assert_eq!(m.link, "I2");

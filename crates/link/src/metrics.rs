@@ -22,7 +22,7 @@
 use sal_des::{Logic, SignalId, Time};
 use sal_des::TraceDump;
 
-use crate::LinkKind;
+use crate::LinkFamily;
 
 /// A deterministic latency histogram with logarithmic (power-of-two
 /// femtosecond) buckets plus exact count/min/max/sum.
@@ -224,7 +224,7 @@ pub struct LinkMetrics {
 
 /// Everything `compute` needs from the measured run.
 pub(crate) struct MetricsInputs<'a> {
-    pub kind: LinkKind,
+    pub family: LinkFamily,
     pub scope: &'a str,
     pub dump: &'a TraceDump,
     /// `(label, req, ack)` pairs from the kernel watchdog.
@@ -239,12 +239,12 @@ pub(crate) struct MetricsInputs<'a> {
 
 pub(crate) fn compute(inp: &MetricsInputs<'_>) -> LinkMetrics {
     LinkMetrics {
-        link: inp.kind.label().to_string(),
+        link: inp.family.label().to_string(),
         handshakes: handshake_stats(inp.dump, inp.watches),
         blocks: block_attribution(inp.dump, inp.scope, inp.window, inp.clock_uw),
         occupancy: occupancy(inp.sent, inp.received, inp.in_use, inp.window),
         in_flight: in_flight(inp.sent, inp.received, inp.window),
-        burst: burst_stats(inp.dump, inp.kind, inp.scope),
+        burst: burst_stats(inp.dump, inp.family, inp.scope),
         events: inp.events,
     }
 }
@@ -452,14 +452,14 @@ fn in_flight(sent: &[(Time, u64)], received: &[(Time, u64)], window: Time) -> In
     }
 }
 
-fn burst_stats(dump: &TraceDump, kind: LinkKind, scope: &str) -> Option<BurstStats> {
+fn burst_stats(dump: &TraceDump, family: LinkFamily, scope: &str) -> Option<BurstStats> {
     // The slice strobe as it enters the wire: the transported request
     // (I2, four-phase — one rising edge per slice) or the transported
     // VALID strobe (I3, one pulse per slice). I1 does not serialize.
-    let leaf = match kind {
-        LinkKind::I1Sync => return None,
-        LinkKind::I2PerTransfer => "seg_r0",
-        LinkKind::I3PerWord => "seg_v0",
+    let leaf = match family {
+        LinkFamily::Sync => return None,
+        LinkFamily::PerTransfer => "seg_r0",
+        LinkFamily::PerWord => "seg_v0",
     };
     let strobe_path = format!("{scope}.wire.{leaf}");
     let idx = dump.signals.iter().position(|m| m.path == strobe_path)?;

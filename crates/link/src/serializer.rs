@@ -8,7 +8,7 @@
 //! handshake is acknowledged.
 
 use sal_cells::CircuitBuilder;
-use sal_des::{SignalId, Time};
+use sal_des::{BundleParams, SignalId, Time};
 
 use crate::LinkConfig;
 
@@ -96,8 +96,15 @@ pub fn build_serializer(
     // Static-timing launch point: every slice of data is launched by
     // the acknowledge edge that advances the token ring (`nack`), and
     // the matched `req_dly` chain must give the token ring + one-hot
-    // mux time to settle before the strobe reaches any capture.
-    b.sim().register_bundle(name, nack, Time::ZERO);
+    // mux time to settle before the strobe reaches any capture. The
+    // annotation names the design point the generator built, so lint
+    // fixtures can key on width and ratio.
+    b.sim().register_bundle_with(
+        name,
+        nack,
+        Time::ZERO,
+        BundleParams { word_width: u16::from(cfg.flit_width), serial_ratio: k as u16 },
+    );
 
     b.pop_scope();
     SerializerPorts { ackout, dout, reqout }

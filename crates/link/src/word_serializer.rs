@@ -11,7 +11,7 @@
 //! `Tburst`.
 
 use sal_cells::{CellKind, CircuitBuilder};
-use sal_des::{SignalId, Time};
+use sal_des::{BundleParams, SignalId, Time};
 
 use crate::LinkConfig;
 
@@ -99,7 +99,12 @@ pub fn build_word_serializer(
     // inverter delays.
     let inv_delay = b.library().params(CellKind::Inv).delay;
     let half_period = Time::from_fs(inv_delay.as_fs() * stages as u64);
-    b.sim().register_bundle(name, valid_core, half_period);
+    b.sim().register_bundle_with(
+        name,
+        valid_core,
+        half_period,
+        BundleParams { word_width: u16::from(cfg.flit_width), serial_ratio: k as u16 },
+    );
 
     // Slice select ring, advanced at each VALID fall.
     let tokens = b.ring_counter("sel", nvalid, Some(rstn), k);

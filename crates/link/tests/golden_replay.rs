@@ -21,23 +21,35 @@ use sal_link::measure::MeasureOptions;
 use sal_link::testbench::{
     attach_sync_sink, attach_sync_source, worst_case_pattern, SyncFlitSink, SyncFlitSource,
 };
-use sal_link::{build_link, LinkConfig, LinkKind};
+use sal_link::{generate, LinkConfig, LinkFamily, LinkSpec};
 use std::fmt::Write as _;
+
+/// The fixture's historical section tag for a family (the old
+/// `LinkKind` debug name); kept so the committed golden file stays
+/// byte-identical across the `LinkSpec` API redesign.
+fn tag(family: LinkFamily) -> &'static str {
+    match family {
+        LinkFamily::Sync => "I1Sync",
+        LinkFamily::PerTransfer => "I2PerTransfer",
+        LinkFamily::PerWord => "I3PerWord",
+    }
+}
 
 /// Runs one link end to end and serialises the final kernel state.
 /// Energies are printed as `f64::to_bits` hex so the comparison is
 /// bit-exact, immune to formatting rounding.
-fn replay(kind: LinkKind) -> String {
-    replay_with(kind, true, false)
+fn replay(family: LinkFamily) -> String {
+    replay_with(&LinkSpec::paper(family), true, false)
 }
 
-fn replay_with(kind: LinkKind, empty_plan: bool, compiled: bool) -> String {
-    let cfg = LinkConfig::default();
+fn replay_with(spec: &LinkSpec, empty_plan: bool, compiled: bool) -> String {
+    let base = LinkConfig::default();
+    let cfg = spec.apply(&base);
     let opts = MeasureOptions::default();
     let words = worst_case_pattern(4, 32);
     let mut sim = Simulator::new();
     let mut builder = CircuitBuilder::new(&mut sim, &opts.lib);
-    let handles = build_link(&mut builder, kind, "link", &cfg).expect("link builds");
+    let handles = generate(&mut builder, spec, "link", &base).expect("link builds");
     let _area = builder.finish();
     // An *empty* fault plan must be a no-op: the kernel keeps its
     // fault-free fast path, so the fixture stays byte-identical.
@@ -73,7 +85,7 @@ fn replay_with(kind: LinkKind, empty_plan: bool, compiled: bool) -> String {
         sim.run_for(slice).expect("simulation error");
     }
     let mut out = String::new();
-    writeln!(out, "kind={kind:?}").unwrap();
+    writeln!(out, "kind={}", tag(spec.family())).unwrap();
     writeln!(out, "time_fs={}", sim.now().as_fs()).unwrap();
     writeln!(out, "events={}", sim.events_processed()).unwrap();
     for sig in sim.signal_ids() {
@@ -94,8 +106,8 @@ fn replay_with(kind: LinkKind, empty_plan: bool, compiled: bool) -> String {
 #[test]
 fn golden_replay_i2_and_i3() {
     let mut full = String::new();
-    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        full.push_str(&replay(kind));
+    for family in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
+        full.push_str(&replay(family));
         full.push('\n');
     }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/replay.txt");
@@ -114,16 +126,44 @@ fn golden_replay_i2_and_i3() {
 
 #[test]
 fn replay_is_deterministic_within_process() {
-    assert_eq!(replay(LinkKind::I2PerTransfer), replay(LinkKind::I2PerTransfer));
-    assert_eq!(replay(LinkKind::I3PerWord), replay(LinkKind::I3PerWord));
+    assert_eq!(replay(LinkFamily::PerTransfer), replay(LinkFamily::PerTransfer));
+    assert_eq!(replay(LinkFamily::PerWord), replay(LinkFamily::PerWord));
+}
+
+/// The paper points expressed three ways — `LinkSpec::paper`, the
+/// builder at the paper's numbers, and `from_config` on the default
+/// configuration — must be one spec and replay to one kernel state.
+#[test]
+fn paper_spec_builder_and_from_config_replay_identically() {
+    for family in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
+        let paper = LinkSpec::paper(family);
+        let built = LinkSpec::builder()
+            .family(family)
+            .word_width(32)
+            .serial_ratio(4)
+            .buffer_depth(4)
+            .build()
+            .expect("the paper point is a valid spec");
+        let derived = LinkSpec::from_config(family, &LinkConfig::default())
+            .expect("the default config sits on the spec lattice");
+        assert_eq!(paper, built);
+        assert_eq!(paper, derived);
+        assert_eq!(paper.content_hash(), derived.content_hash());
+        assert_eq!(
+            replay_with(&paper, true, false),
+            replay_with(&built, true, false),
+            "equal specs must replay bit-identically"
+        );
+    }
 }
 
 #[test]
 fn empty_fault_plan_is_bit_identical_to_no_plan() {
-    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+    for family in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
+        let spec = LinkSpec::paper(family);
         assert_eq!(
-            replay_with(kind, true, false),
-            replay_with(kind, false, false),
+            replay_with(&spec, true, false),
+            replay_with(&spec, false, false),
             "an empty FaultPlan must not perturb the kernel"
         );
     }
@@ -137,11 +177,12 @@ fn empty_fault_plan_is_bit_identical_to_no_plan() {
 /// engine too.
 #[test]
 fn compiled_replay_is_bit_identical_to_interpreted() {
-    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+    for family in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
+        let spec = LinkSpec::paper(family);
         assert_eq!(
-            replay_with(kind, true, false),
-            replay_with(kind, true, true),
-            "compiled execution diverged from interpreted on {kind:?}"
+            replay_with(&spec, true, false),
+            replay_with(&spec, true, true),
+            "compiled execution diverged from interpreted on {family:?}"
         );
     }
 }

@@ -6,15 +6,16 @@
 
 use sal_cells::CircuitBuilder;
 use sal_des::Simulator;
-use sal_link::{build_link, LinkConfig, LinkKind, WordRxStyle};
+use sal_link::{generate, LinkConfig, LinkFamily, LinkSpec, WordRxStyle};
 use sal_lint::{run_all, timing_margins, TimingMargin};
 use sal_tech::St012Library;
 
-fn lint_of(kind: LinkKind, cfg: &LinkConfig) -> (sal_lint::LintReport, Vec<TimingMargin>) {
+fn lint_of(family: LinkFamily, cfg: &LinkConfig) -> (sal_lint::LintReport, Vec<TimingMargin>) {
     let mut sim = Simulator::new();
     let lib = St012Library::default();
     let mut b = CircuitBuilder::new(&mut sim, &lib);
-    build_link(&mut b, kind, "link", cfg).expect("link builds cleanly");
+    let spec = LinkSpec::from_config(family, cfg).expect("corner configs are valid specs");
+    generate(&mut b, &spec, "link", cfg).expect("link builds cleanly");
     b.finish();
     let graph = sim.netgraph();
     (run_all(&graph), timing_margins(&graph))
@@ -43,7 +44,7 @@ fn corners() -> Vec<(String, LinkConfig)> {
 
 #[test]
 fn clean_links_have_zero_lint_errors_across_corners() {
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+    for kind in [LinkFamily::Sync, LinkFamily::PerTransfer, LinkFamily::PerWord] {
         for (label, cfg) in corners() {
             let (report, _) = lint_of(kind, &cfg);
             assert!(
@@ -58,7 +59,7 @@ fn clean_links_have_zero_lint_errors_across_corners() {
 
 #[test]
 fn async_links_have_positive_static_margins() {
-    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+    for kind in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
         for (label, cfg) in corners() {
             let (_, margins) = lint_of(kind, &cfg);
             assert!(
@@ -79,10 +80,35 @@ fn async_links_have_positive_static_margins() {
     }
 }
 
+/// Generated netlists must carry the spec's design point on their
+/// bundled-data launch points: every constrained capture of an async
+/// link reports the word width and serialization ratio it was
+/// generated under, across the corner configurations.
+#[test]
+fn async_link_margins_carry_generator_params() {
+    for kind in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
+        for (label, cfg) in corners() {
+            let spec = LinkSpec::from_config(kind, &cfg).expect("corner configs are valid specs");
+            let (_, margins) = lint_of(kind, &cfg);
+            for m in &margins {
+                let p = m.params.unwrap_or_else(|| {
+                    panic!(
+                        "{} @ {label}: generated bundle at {} lost its params",
+                        kind.label(),
+                        m.capture_data
+                    )
+                });
+                assert_eq!(p.word_width, u16::from(spec.word_width()));
+                assert_eq!(p.serial_ratio, u16::from(spec.serial_ratio()));
+            }
+        }
+    }
+}
+
 #[test]
 fn sync_link_is_statically_unconstrained() {
     // I1 has no bundled-data launch points: every capture is clocked.
-    let (_, margins) = lint_of(LinkKind::I1Sync, &LinkConfig::default());
+    let (_, margins) = lint_of(LinkFamily::Sync, &LinkConfig::default());
     assert!(
         margins.is_empty(),
         "I1 must have no bundled captures, got {}",
@@ -127,9 +153,9 @@ fn static_margins_reconcile_with_simulated_robustness() {
     let [i1, i2, i3] = ff;
 
     let cfg = LinkConfig::default();
-    let (_, m2) = lint_of(LinkKind::I2PerTransfer, &cfg);
-    let (_, m3) = lint_of(LinkKind::I3PerWord, &cfg);
-    let (_, m1) = lint_of(LinkKind::I1Sync, &cfg);
+    let (_, m2) = lint_of(LinkFamily::PerTransfer, &cfg);
+    let (_, m3) = lint_of(LinkFamily::PerWord, &cfg);
+    let (_, m1) = lint_of(LinkFamily::Sync, &cfg);
 
     // Sign agreement: simulated-clean links have positive static
     // margins; the simulated first failure is a *positive* amount of

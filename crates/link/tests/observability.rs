@@ -4,9 +4,22 @@
 //! behaviour on degenerate runs (single transfer, deadlock).
 
 use sal_des::{FaultPlan, Time};
-use sal_link::measure::{run, MeasureOptions, RunFailure, TraceMode};
+use sal_link::measure::{run_spec, LinkRun, MeasureOptions, RunFailure, TraceMode};
 use sal_link::testbench::worst_case_pattern;
-use sal_link::{LinkConfig, LinkKind};
+use sal_link::{LinkConfig, LinkFamily, LinkSpec};
+/// Spec-based twin of the old `run_link(kind, cfg, ...)` entry point:
+/// derives the exact [`LinkSpec`] for `cfg` and measures through the
+/// declarative path (identity for every config these tests use).
+fn run_link(
+    family: LinkFamily,
+    cfg: &LinkConfig,
+    words: &[u64],
+    opts: &MeasureOptions,
+) -> Result<LinkRun, RunFailure> {
+    let spec = LinkSpec::from_config(family, cfg).expect("test configs are valid specs");
+    run_spec(&spec, cfg, words, opts)
+}
+
 
 fn observed() -> MeasureOptions {
     MeasureOptions::default().with_trace(TraceMode::Full).with_metrics()
@@ -17,7 +30,7 @@ fn two_identical_runs_serialise_byte_identically() {
     let cfg = LinkConfig::default();
     let words = worst_case_pattern(4, 32);
     let once = || {
-        let r = run(LinkKind::I2PerTransfer, &cfg, &words, &observed()).expect("clean run");
+        let r = run_link(LinkFamily::PerTransfer, &cfg, &words, &observed()).expect("clean run");
         let mut jsonl = Vec::new();
         r.trace.as_ref().expect("trace retained").write_jsonl(&mut jsonl).expect("jsonl");
         let metrics_json = r.metrics().expect("metrics computed").to_json();
@@ -34,7 +47,7 @@ fn two_identical_runs_serialise_byte_identically() {
 fn traced_i2_yields_nonempty_histograms_and_reconciled_energy() {
     let cfg = LinkConfig::default();
     let words = worst_case_pattern(4, 32);
-    let r = run(LinkKind::I2PerTransfer, &cfg, &words, &observed()).expect("clean run");
+    let r = run_link(LinkFamily::PerTransfer, &cfg, &words, &observed()).expect("clean run");
     let m = r.metrics().expect("metrics computed");
 
     // Every watched handshake pair on a clean I2 run completes and
@@ -80,7 +93,7 @@ fn traced_i2_yields_nonempty_histograms_and_reconciled_energy() {
 fn i1_has_no_burst_but_still_attributes_energy() {
     let cfg = LinkConfig::default();
     let words = worst_case_pattern(4, 32);
-    let r = run(LinkKind::I1Sync, &cfg, &words, &observed()).expect("clean run");
+    let r = run_link(LinkFamily::Sync, &cfg, &words, &observed()).expect("clean run");
     let m = r.metrics().expect("metrics computed");
     assert!(m.burst.is_none(), "I1 does not serialize");
     assert!(m.blocks.buffers_uw > 0.0, "clocked pipeline buffers must switch");
@@ -92,7 +105,7 @@ fn i1_has_no_burst_but_still_attributes_energy() {
 #[test]
 fn single_transfer_run_has_single_sample_histograms() {
     let cfg = LinkConfig::default();
-    let r = run(LinkKind::I3PerWord, &cfg, &[0xDEAD_BEEF], &observed()).expect("clean run");
+    let r = run_link(LinkFamily::PerWord, &cfg, &[0xDEAD_BEEF], &observed()).expect("clean run");
     let m = r.metrics().expect("metrics computed");
     let word = m.handshakes.iter().find(|h| h.label.ends_with("word")).expect("word pair");
     assert_eq!(word.completed, 1);
@@ -109,7 +122,7 @@ fn deadlocked_run_stays_structured_with_tracing_enabled() {
     let plan = FaultPlan::new(7).stuck_at("link.ack_in2", false, Time::from_ns(5));
     let opts = observed().with_fault_plan(plan).with_timeout(Time::from_us(5));
     let words = worst_case_pattern(4, 32);
-    match run(LinkKind::I2PerTransfer, &LinkConfig::default(), &words, &opts) {
+    match run_link(LinkFamily::PerTransfer, &LinkConfig::default(), &words, &opts) {
         Err(RunFailure::Deadlock { diagnosis, delivered, expected, .. }) => {
             assert!(delivered < expected);
             assert!(diagnosis.is_some(), "watchdog diagnosis survives tracing");
@@ -127,9 +140,9 @@ fn compiled_i2_run_populates_compiled_profile_counters() {
     // report zeros, with identical delivery either way.
     let cfg = LinkConfig::default();
     let words = worst_case_pattern(4, 32);
-    let compiled = run(LinkKind::I2PerTransfer, &cfg, &words, &observed()).expect("clean run");
+    let compiled = run_link(LinkFamily::PerTransfer, &cfg, &words, &observed()).expect("clean run");
     let interpreted =
-        run(LinkKind::I2PerTransfer, &cfg, &words, &observed().without_compile())
+        run_link(LinkFamily::PerTransfer, &cfg, &words, &observed().without_compile())
             .expect("clean run");
 
     assert!(compiled.profile.cones_built > 0, "compiled run built no cones");
@@ -155,7 +168,7 @@ fn traced_run_exports_vcd() {
     let cfg = LinkConfig::default();
     let words = worst_case_pattern(2, 32);
     let opts = MeasureOptions::default().with_trace(TraceMode::Full);
-    let r = run(LinkKind::I3PerWord, &cfg, &words, &opts).expect("clean run");
+    let r = run_link(LinkFamily::PerWord, &cfg, &words, &opts).expect("clean run");
     let mut vcd = Vec::new();
     r.trace.as_ref().expect("trace retained").write_vcd(&mut vcd).expect("vcd");
     let text = String::from_utf8(vcd).expect("utf8");
@@ -171,10 +184,10 @@ fn untraced_runs_are_unperturbed_by_the_hook() {
     // same timeline, same delivery, same event count.
     let cfg = LinkConfig::default();
     let words = worst_case_pattern(4, 32);
-    let plain = run(LinkKind::I2PerTransfer, &cfg, &words, &MeasureOptions::default())
+    let plain = run_link(LinkFamily::PerTransfer, &cfg, &words, &MeasureOptions::default())
         .expect("clean run");
     let traced =
-        run(LinkKind::I2PerTransfer, &cfg, &words, &observed()).expect("clean run");
+        run_link(LinkFamily::PerTransfer, &cfg, &words, &observed()).expect("clean run");
     assert_eq!(plain.sent, traced.sent);
     assert_eq!(plain.received, traced.received);
     assert_eq!(plain.events, traced.events);

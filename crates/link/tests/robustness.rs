@@ -4,9 +4,22 @@
 //! bit-reproducible.
 
 use sal_des::{FaultPlan, Time};
-use sal_link::measure::{run, MeasureOptions, RunFailure};
+use sal_link::measure::{run_spec, LinkRun, MeasureOptions, RunFailure};
 use sal_link::testbench::worst_case_pattern;
-use sal_link::{LinkConfig, LinkKind};
+use sal_link::{LinkConfig, LinkFamily, LinkSpec};
+/// Spec-based twin of the old `run_link(kind, cfg, ...)` entry point:
+/// derives the exact [`LinkSpec`] for `cfg` and measures through the
+/// declarative path (identity for every config these tests use).
+fn run_link(
+    family: LinkFamily,
+    cfg: &LinkConfig,
+    words: &[u64],
+    opts: &MeasureOptions,
+) -> Result<LinkRun, RunFailure> {
+    let spec = LinkSpec::from_config(family, cfg).expect("test configs are valid specs");
+    run_spec(&spec, cfg, words, opts)
+}
+
 
 fn opts_with(plan: FaultPlan) -> MeasureOptions {
     MeasureOptions {
@@ -28,7 +41,7 @@ fn i2_ack_stuck_at_is_diagnosed_not_a_bare_panic() {
     let plan = FaultPlan::new(7).stuck_at("link.ack_in2", false, Time::from_ns(5));
     let words = worst_case_pattern(4, 32);
     let cfg = LinkConfig::default();
-    match run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
+    match run_link(LinkFamily::PerTransfer, &cfg, &words, &opts_with(plan)) {
         Err(RunFailure::Deadlock { diagnosis, delivered, expected, .. }) => {
             assert!(delivered < expected, "stall must lose words");
             let report = diagnosis.expect("watchdog should recognise the wedged handshake");
@@ -51,7 +64,7 @@ fn unknown_fault_target_is_rejected() {
     let plan = FaultPlan::new(1).stuck_at("link.no_such_wire", false, Time::ZERO);
     let words = worst_case_pattern(2, 32);
     let cfg = LinkConfig::default();
-    match run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
+    match run_link(LinkFamily::PerTransfer, &cfg, &words, &opts_with(plan)) {
         Err(RunFailure::Fault(e)) => assert!(e.to_string().contains("no_such_wire")),
         other => panic!("expected a fault-plan rejection, got: {other:?}"),
     }
@@ -66,7 +79,7 @@ fn scoreboard_flags_corrupted_payloads() {
     let plan = FaultPlan::new(3).stuck_at("link.wire.seg_d0", false, Time::from_ns(5));
     let words = worst_case_pattern(4, 32);
     let cfg = LinkConfig::default();
-    match run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan)) {
+    match run_link(LinkFamily::PerTransfer, &cfg, &words, &opts_with(plan)) {
         Ok(run) => {
             assert!(
                 !run.integrity.is_clean(),
@@ -87,8 +100,8 @@ fn scoreboard_flags_corrupted_payloads() {
 fn clean_run_has_clean_scoreboard() {
     let words = worst_case_pattern(4, 32);
     let cfg = LinkConfig::default();
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        let run = run(kind, &cfg, &words, &MeasureOptions::default())
+    for kind in [LinkFamily::Sync, LinkFamily::PerTransfer, LinkFamily::PerWord] {
+        let run = run_link(kind, &cfg, &words, &MeasureOptions::default())
             .expect("clean run completes");
         assert!(run.integrity.is_clean(), "{}: {}", kind.label(), run.integrity);
     }
@@ -106,7 +119,7 @@ fn seeded_fault_runs_are_bit_reproducible() {
             .in_scope("link.ser")
             .in_scope("link.des")
             .in_scope("link.wire");
-        run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan))
+        run_link(LinkFamily::PerTransfer, &cfg, &words, &opts_with(plan))
             .expect("mild sigma should not break the link")
     };
     let a = mk();
@@ -123,7 +136,7 @@ fn seeded_fault_runs_are_bit_reproducible() {
         .in_scope("link.ser")
         .in_scope("link.des")
         .in_scope("link.wire");
-    let c = run(LinkKind::I2PerTransfer, &cfg, &words, &opts_with(plan))
+    let c = run_link(LinkFamily::PerTransfer, &cfg, &words, &opts_with(plan))
         .expect("sigma within margin should not break the link");
     assert!(c.integrity.is_clean(), "{}", c.integrity);
     assert_ne!(

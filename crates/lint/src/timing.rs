@@ -35,7 +35,7 @@
 //! and results computed under a cut are not memoized, so the
 //! traversal is deterministic and terminates.
 
-use sal_des::{CellClass, NetComponent, NetGraph, SignalId};
+use sal_des::{BundleParams, CellClass, NetComponent, NetGraph, SignalId};
 
 use crate::report::{LintReport, Severity};
 
@@ -61,6 +61,9 @@ pub struct TimingMargin {
     pub data_lead_ps: f64,
     /// Static margin: `data_lead + strobe_min − data_max`, ps.
     pub margin_ps: f64,
+    /// Generator parameters of the paired bundle, when it came from a
+    /// width/ratio-parameterized generator (the `LinkSpec` machinery).
+    pub params: Option<BundleParams>,
 }
 
 /// Computes the static margin of every registered capture that is
@@ -95,6 +98,7 @@ pub fn timing_margins(graph: &NetGraph) -> Vec<TimingMargin> {
             // An unreachable strobe is reported as a zero-margin
             // defect by `check`; encode it as a hard failure here.
             margin_ps: margin_fs.map_or(f64::NEG_INFINITY, |m| m as f64 / 1000.0),
+            params: bundle.params,
         });
     }
     out.sort_by(|a, b| {

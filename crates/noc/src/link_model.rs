@@ -8,7 +8,7 @@
 
 use sal_analytic::{PerTransferDelay, PerWordDelay};
 use sal_des::Time;
-use sal_link::{LinkConfig, LinkKind};
+use sal_link::{LinkConfig, LinkFamily, LinkSpec};
 
 /// A behavioural inter-router channel.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -42,14 +42,14 @@ impl LinkModel {
     /// wires; bandwidth capped by the self-timed upper bound from the
     /// paper's §V delay equations; latency covers the clock-domain
     /// crossings plus the serial transfer time.
-    pub fn from_async(kind: LinkKind, cfg: &LinkConfig) -> Self {
-        let ub_mflits = match kind {
-            LinkKind::I2PerTransfer => per_transfer_defaults(cfg)
+    pub fn from_async(family: LinkFamily, cfg: &LinkConfig) -> Self {
+        let ub_mflits = match family {
+            LinkFamily::PerTransfer => per_transfer_defaults(cfg)
                 .upper_bound_mflits(cfg.slices() as u32, cfg.buffers + 1),
-            LinkKind::I3PerWord => {
+            LinkFamily::PerWord => {
                 per_word_defaults(cfg).upper_bound_mflits(cfg.buffers)
             }
-            LinkKind::I1Sync => panic!("use from_i1 for the synchronous link"),
+            LinkFamily::Sync => panic!("use from_i1 for the synchronous link"),
         };
         let clk_mhz = cfg.clk_hz() / 1e6;
         let serial_cycles = (clk_mhz / ub_mflits).ceil().max(1.0) as u32;
@@ -62,12 +62,20 @@ impl LinkModel {
         }
     }
 
-    /// Dispatch on link kind.
-    pub fn from_link(kind: LinkKind, cfg: &LinkConfig) -> Self {
-        match kind {
-            LinkKind::I1Sync => Self::from_i1(cfg),
-            _ => Self::from_async(kind, cfg),
+    /// Dispatch on link family.
+    pub fn from_link(family: LinkFamily, cfg: &LinkConfig) -> Self {
+        match family {
+            LinkFamily::Sync => Self::from_i1(cfg),
+            _ => Self::from_async(family, cfg),
         }
+    }
+
+    /// Derives the channel model a [`LinkSpec`] describes: the spec
+    /// is merged onto the physical `base` configuration exactly as
+    /// the gate-level generator would, then abstracted to the
+    /// `(latency, bandwidth, wires)` triple.
+    pub fn from_spec(spec: &LinkSpec, base: &LinkConfig) -> Self {
+        Self::from_link(spec.family(), &spec.apply(base))
     }
 
     /// Derates the channel for a protected link on a noisy medium:
@@ -148,21 +156,21 @@ mod tests {
         // At 100 MHz the serial links keep up (1 flit/cycle); at
         // 400 MHz they saturate below the clock.
         let slow = LinkConfig::default(); // 100 MHz
-        let m = LinkModel::from_async(LinkKind::I3PerWord, &slow);
+        let m = LinkModel::from_async(LinkFamily::PerWord, &slow);
         assert!((m.flits_per_cycle - 1.0).abs() < 1e-9);
         assert_eq!(m.wires, 10);
         let fast = LinkConfig {
             clk_period: sal_des::Time::from_ps(2500), // 400 MHz
             ..LinkConfig::default()
         };
-        let mf = LinkModel::from_async(LinkKind::I3PerWord, &fast);
+        let mf = LinkModel::from_async(LinkFamily::PerWord, &fast);
         assert!(mf.flits_per_cycle < 1.0, "rate {}", mf.flits_per_cycle);
         assert!(mf.flits_per_cycle > 0.5);
     }
 
     #[test]
     fn retransmission_derating_follows_the_geometric_series() {
-        let base = LinkModel::from_link(LinkKind::I2PerTransfer, &LinkConfig::default());
+        let base = LinkModel::from_link(LinkFamily::PerTransfer, &LinkConfig::default());
         // A perfect medium is the identity.
         assert_eq!(base.with_retransmission(0.0), base);
         // 20% word-error rate: bandwidth scales by exactly 1-p, and
@@ -180,7 +188,7 @@ mod tests {
 
     #[test]
     fn retransmission_near_p_one_saturates_instead_of_wrapping() {
-        let base = LinkModel::from_link(LinkKind::I2PerTransfer, &LinkConfig::default());
+        let base = LinkModel::from_link(LinkFamily::PerTransfer, &LinkConfig::default());
         // p = 0.999: expected transmissions = 1000, retry cycles in
         // the tens of thousands — fine. Push the latency so the
         // product overflows u32: the old bare `as u32` cast wrapped
@@ -202,10 +210,26 @@ mod tests {
     }
 
     #[test]
+    fn from_spec_matches_from_link_on_the_merged_config() {
+        let spec = LinkSpec::builder()
+            .family(LinkFamily::PerWord)
+            .word_width(16)
+            .serial_ratio(8)
+            .buffer_depth(6)
+            .build()
+            .unwrap();
+        let base = LinkConfig::default();
+        let via_spec = LinkModel::from_spec(&spec, &base);
+        let via_cfg = LinkModel::from_link(LinkFamily::PerWord, &spec.apply(&base));
+        assert_eq!(via_spec, via_cfg);
+        assert_eq!(via_spec.wires, 4); // 2 data + req + ack
+    }
+
+    #[test]
     fn wire_cost_contrast() {
         let cfg = LinkConfig::default();
         let sync = LinkModel::from_i1(&cfg);
-        let ser = LinkModel::from_link(LinkKind::I2PerTransfer, &cfg);
+        let ser = LinkModel::from_link(LinkFamily::PerTransfer, &cfg);
         assert!(ser.wires * 3 < sync.wires);
     }
 }

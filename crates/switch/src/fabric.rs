@@ -4,7 +4,7 @@
 
 use sal_cells::CircuitBuilder;
 use sal_des::{SignalId, Value};
-use sal_link::{build_link, LinkConfig, LinkKind};
+use sal_link::{generate, LinkConfig, LinkFamily, LinkSpec};
 
 use crate::switch::{build_switch, port, SwitchPorts};
 
@@ -25,26 +25,27 @@ pub struct FabricHandles {
 }
 
 /// Builds `n` switches at coordinates `(0,0) … (n-1,0)` joined by
-/// `kind` links in both directions, inside scope `name`. Unused mesh
-/// edges are tied off. `cfg.flit_width` is the fabric's flit width.
+/// `family` links in both directions, inside scope `name`. Unused
+/// mesh edges are tied off. `cfg.flit_width` is the fabric's flit
+/// width.
 pub fn build_row_fabric(
     b: &mut CircuitBuilder<'_>,
     name: &str,
     n: usize,
-    kind: LinkKind,
+    family: LinkFamily,
     cfg: &LinkConfig,
 ) -> FabricHandles {
-    build_mesh_fabric(b, name, (n, 1), kind, cfg)
+    build_mesh_fabric(b, name, (n, 1), family, cfg)
 }
 
 /// Builds a full `cols × rows` gate-level mesh: one switch per node,
-/// joined by `kind` links in both directions along every mesh edge.
+/// joined by `family` links in both directions along every mesh edge.
 /// Locals are exposed in row-major order (`y * cols + x`).
 pub fn build_mesh_fabric(
     b: &mut CircuitBuilder<'_>,
     name: &str,
     (cols, rows): (usize, usize),
-    kind: LinkKind,
+    family: LinkFamily,
     cfg: &LinkConfig,
 ) -> FabricHandles {
     let n = cols * rows;
@@ -94,6 +95,10 @@ pub fn build_mesh_fabric(
     // built at the top level (they create their own clock/reset
     // signals there). `connect(from, out_port, to, in_port)` inserts a
     // full gate-level link between two switch ports.
+    let spec = match LinkSpec::from_config(family, cfg) {
+        Ok(s) => s,
+        Err(e) => panic!("fabric link config is not a valid spec: {e}"),
+    };
     let connect = |b: &mut CircuitBuilder<'_>,
                        rstns: &mut Vec<SignalId>,
                        tag: String,
@@ -101,7 +106,7 @@ pub fn build_mesh_fabric(
                        op: usize,
                        to: usize,
                        ip: usize| {
-        let l = match build_link(b, kind, &tag, cfg) {
+        let l = match generate(b, &spec, &tag, cfg) {
             Ok(l) => l,
             Err(e) => panic!("fabric link '{tag}' failed to build: {e}"),
         };
@@ -152,7 +157,7 @@ mod tests {
 
     fn run_fabric(
         n: usize,
-        kind: LinkKind,
+        family: LinkFamily,
         traffic: Vec<(usize, u8, u64)>, // (src switch, dest x, payload)
         cycles: u64,
     ) -> Vec<Vec<(u8, u8, u64)>> {
@@ -160,7 +165,7 @@ mod tests {
         let mut sim = Simulator::new();
         let lib = St012Library::default();
         let mut b = CircuitBuilder::new(&mut sim, &lib);
-        let f = build_row_fabric(&mut b, "fab", n, kind, &cfg);
+        let f = build_row_fabric(&mut b, "fab", n, family, &cfg);
         b.finish();
         for &r in &f.rstns {
             sim.stimulus(r, &[(Time::ZERO, Value::zero(1)), (Time::from_ns(2), Value::one(1))]);
@@ -199,7 +204,7 @@ mod tests {
         // sw0 -> sw1 and sw1 -> sw0, over gate-level I3 links.
         let got = run_fabric(
             2,
-            LinkKind::I3PerWord,
+            LinkFamily::PerWord,
             vec![(0, 1, 0xAAAA), (1, 0, 0x5555)],
             120,
         );
@@ -212,7 +217,7 @@ mod tests {
         // sw0 -> sw2 must transit sw1 and two I2 links.
         let got = run_fabric(
             3,
-            LinkKind::I2PerTransfer,
+            LinkFamily::PerTransfer,
             vec![(0, 2, 0x123456), (2, 0, 0x654321)],
             300,
         );
@@ -224,7 +229,7 @@ mod tests {
     fn parallel_link_fabric_matches() {
         let got = run_fabric(
             2,
-            LinkKind::I1Sync,
+            LinkFamily::Sync,
             vec![(0, 1, 0x77), (0, 1, 0x88), (0, 1, 0x99)],
             200,
         );
@@ -235,7 +240,7 @@ mod tests {
     #[test]
     fn local_delivery_without_links() {
         // A flit addressed to its own switch ejects locally.
-        let got = run_fabric(2, LinkKind::I3PerWord, vec![(0, 0, 0x42)], 60);
+        let got = run_fabric(2, LinkFamily::PerWord, vec![(0, 0, 0x42)], 60);
         assert_eq!(got[0], vec![(0, 0, 0x42)]);
         assert!(got[1].is_empty());
     }
@@ -249,7 +254,7 @@ mod tests {
         let mut sim = Simulator::new();
         let lib = St012Library::default();
         let mut b = CircuitBuilder::new(&mut sim, &lib);
-        let f = build_mesh_fabric(&mut b, "mesh", (2, 2), LinkKind::I3PerWord, &cfg);
+        let f = build_mesh_fabric(&mut b, "mesh", (2, 2), LinkFamily::PerWord, &cfg);
         b.finish();
         for &r in &f.rstns {
             sim.stimulus(r, &[(Time::ZERO, Value::zero(1)), (Time::from_ns(2), Value::one(1))]);

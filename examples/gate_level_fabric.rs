@@ -9,7 +9,7 @@ use sal::des::{Simulator, Time, Value};
 use sal::link::testbench::{
     attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource,
 };
-use sal::link::{LinkConfig, LinkKind};
+use sal::link::{LinkConfig, LinkFamily};
 use sal::switch::{build_row_fabric, flit};
 use sal::tech::St012Library;
 
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulator::new();
     let lib = St012Library::default();
     let mut b = CircuitBuilder::new(&mut sim, &lib);
-    let fabric = build_row_fabric(&mut b, "fab", 3, LinkKind::I3PerWord, &cfg);
+    let fabric = build_row_fabric(&mut b, "fab", 3, LinkFamily::PerWord, &cfg);
     let ledger = b.finish();
 
     for &r in &fabric.rstns {

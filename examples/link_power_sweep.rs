@@ -4,9 +4,9 @@
 //! Run with: `cargo run --example link_power_sweep --release`
 
 use sal::des::Time;
-use sal::link::measure::{run, MeasureOptions};
+use sal::link::measure::{run_spec, MeasureOptions};
 use sal::link::testbench::worst_case_pattern;
-use sal::link::{LinkConfig, LinkKind};
+use sal::link::{LinkConfig, LinkFamily, LinkSpec};
 
 fn main() {
     let words = worst_case_pattern(4, 32);
@@ -14,14 +14,19 @@ fn main() {
         println!("switch clock {mhz} MHz (power in uW, 50% usage):");
         println!("  {:>8} {:>8} {:>8} {:>8}", "buffers", "I1", "I2", "I3");
         for buffers in [2u32, 4, 6, 8] {
-            let cfg = LinkConfig {
-                buffers,
+            let base = LinkConfig {
                 clk_period: Time::from_hz(mhz as f64 * 1e6),
                 ..LinkConfig::default()
             };
             let mut row = Vec::new();
-            for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-                let run = run(kind, &cfg, &words, &MeasureOptions::default()).expect("clean run");
+            for family in LinkFamily::ALL {
+                let spec = LinkSpec::builder()
+                    .family(family)
+                    .buffer_depth(buffers)
+                    .build()
+                    .expect("valid spec");
+                let run = run_spec(&spec, &base, &words, &MeasureOptions::default())
+                    .expect("clean run");
                 row.push(run.total_power_uw());
             }
             println!(

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --example mesh_traffic --release`
 
 use sal::des::Time;
-use sal::link::{LinkConfig, LinkKind};
+use sal::link::{LinkConfig, LinkFamily};
 use sal::noc::{
     LinkModel, Mesh, Network, NetworkConfig, NodeId, TrafficPattern,
 };
@@ -23,11 +23,11 @@ fn main() {
     // flit per cycle and the trade-off is visible.
     let lcfg = LinkConfig { clk_period: Time::from_ps(2_500), ..LinkConfig::default() };
 
-    for (kind, label) in [
-        (LinkKind::I1Sync, "I1 parallel (33 wires/channel)"),
-        (LinkKind::I3PerWord, "I3 serialized (10 wires/channel)"),
+    for (family, label) in [
+        (LinkFamily::Sync, "I1 parallel (33 wires/channel)"),
+        (LinkFamily::PerWord, "I3 serialized (10 wires/channel)"),
     ] {
-        let model = LinkModel::from_link(kind, &lcfg);
+        let model = LinkModel::from_link(family, &lcfg);
         println!(
             "{label}: {:.2} flits/cycle/channel, {} mesh wires total",
             model.flits_per_cycle,

@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use sal::link::measure::{run, MeasureOptions};
+use sal::link::measure::{run_spec, MeasureOptions};
 use sal::link::testbench::worst_case_pattern;
-use sal::link::{LinkConfig, LinkKind};
+use sal::link::{LinkConfig, LinkFamily, LinkSpec};
 
 fn main() {
     let cfg = LinkConfig::default();
@@ -23,18 +23,27 @@ fn main() {
         "{:<28} {:>6} {:>12} {:>11} {:>11}",
         "link", "wires", "MFlit/s", "power(uW)", "area(um2)"
     );
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        let run = run(kind, &cfg, &words, &MeasureOptions::default()).expect("clean run");
-        assert_eq!(run.received_words(), words, "data corrupted on {}", kind.label());
-        let name = match kind {
-            LinkKind::I1Sync => "I1 synchronous parallel",
-            LinkKind::I2PerTransfer => "I2 async, per-transfer ack",
-            LinkKind::I3PerWord => "I3 async, per-word ack",
+    for family in LinkFamily::ALL {
+        // The declarative way in: state the design point, let the
+        // validated spec drive generation and measurement.
+        let spec = LinkSpec::builder()
+            .family(family)
+            .word_width(32)
+            .serial_ratio(4)
+            .buffer_depth(4)
+            .build()
+            .expect("the paper point is a valid spec");
+        let run = run_spec(&spec, &cfg, &words, &MeasureOptions::default()).expect("clean run");
+        assert_eq!(run.received_words(), words, "data corrupted on {}", family.label());
+        let name = match family {
+            LinkFamily::Sync => "I1 synchronous parallel",
+            LinkFamily::PerTransfer => "I2 async, per-transfer ack",
+            LinkFamily::PerWord => "I3 async, per-word ack",
         };
         println!(
             "{:<28} {:>6} {:>12.1} {:>11.0} {:>11.0}",
             name,
-            kind.wires(&cfg),
+            spec.wires(),
             run.throughput_mflits(),
             run.total_power_uw(),
             run.area_um2()

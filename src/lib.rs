@@ -25,16 +25,23 @@
 //! ## Quickstart
 //!
 //! ```
-//! use sal::link::measure::{run, MeasureOptions};
+//! use sal::link::measure::{run_spec, MeasureOptions};
 //! use sal::link::testbench::worst_case_pattern;
-//! use sal::link::{LinkConfig, LinkKind};
+//! use sal::link::{LinkConfig, LinkFamily, LinkSpec};
 //!
-//! // Send the paper's worst-case 4-flit pattern over the proposed
-//! // per-word asynchronous serial link and measure it.
-//! let cfg = LinkConfig::default();
-//! let run = run(
-//!     LinkKind::I3PerWord,
-//!     &cfg,
+//! // Declare the paper's I3 design point (32-bit words serialized
+//! // 4:1, four wire buffers), then push the worst-case 4-flit
+//! // pattern through the generated gate-level link and measure it.
+//! let spec = LinkSpec::builder()
+//!     .family(LinkFamily::PerWord)
+//!     .word_width(32)
+//!     .serial_ratio(4)
+//!     .buffer_depth(4)
+//!     .build()
+//!     .expect("a valid spec");
+//! let run = run_spec(
+//!     &spec,
+//!     &LinkConfig::default(),
 //!     &worst_case_pattern(4, 32),
 //!     &MeasureOptions::default(),
 //! ).expect("clean run");

@@ -6,12 +6,12 @@ use sal::des::{SimConfig, SimError, Simulator, Time, Value};
 use sal::link::testbench::{
     attach_sync_sink, attach_sync_source, SyncFlitSink, SyncFlitSource,
 };
-use sal::link::{build_link, LinkConfig, LinkKind};
+use sal::link::{generate, LinkConfig, LinkFamily, LinkSpec};
 use sal::tech::St012Library;
 
 /// Builds a link with a source/sink pair, returning the records.
 fn harness(
-    kind: LinkKind,
+    family: LinkFamily,
     cfg: &LinkConfig,
     words: Vec<u64>,
     stall_fn: Box<dyn FnMut(u64) -> bool>,
@@ -19,7 +19,8 @@ fn harness(
     let mut sim = Simulator::new();
     let lib = St012Library::default();
     let mut b = CircuitBuilder::new(&mut sim, &lib);
-    let h = build_link(&mut b, kind, "link", cfg).expect("link builds");
+    let spec = LinkSpec::from_config(family, cfg).expect("valid spec");
+    let h = generate(&mut b, &spec, "link", cfg).expect("link builds");
     b.finish();
     sim.stimulus(
         h.rstn,
@@ -38,17 +39,17 @@ fn harness(
 fn permanently_stalled_sink_never_corrupts() {
     // Receiver refuses everything: no delivery, no panic, and the
     // sending switch eventually throttles to a stop (FIFO + link full).
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+    for family in LinkFamily::ALL {
         let words: Vec<u64> = (1..=24).collect();
         let (mut sim, sent, received) =
-            harness(kind, &LinkConfig::default(), words, Box::new(|_| true));
+            harness(family, &LinkConfig::default(), words, Box::new(|_| true));
         sim.run_until(Time::from_us(2)).unwrap();
-        assert!(received.borrow().is_empty(), "{} delivered under hard stall", kind.label());
+        assert!(received.borrow().is_empty(), "{} delivered under hard stall", family.label());
         // The link + FIFOs can buffer only a bounded number of flits.
         assert!(
             sent.borrow().len() < 16,
             "{} accepted everything despite a dead receiver",
-            kind.label()
+            family.label()
         );
     }
 }
@@ -57,24 +58,24 @@ fn permanently_stalled_sink_never_corrupts() {
 fn stall_release_resumes_cleanly() {
     // Stall hard for 50 cycles, then release: everything arrives, in
     // order, exactly once.
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+    for family in LinkFamily::ALL {
         let words: Vec<u64> = (1..=10).map(|i| i * 0x0101_0101).collect();
         let (mut sim, _, received) = harness(
-            kind,
+            family,
             &LinkConfig::default(),
             words.clone(),
             Box::new(|c| c < 50),
         );
         sim.run_until(Time::from_us(4)).unwrap();
         let got: Vec<u64> = received.borrow().iter().map(|&(_, w)| w).collect();
-        assert_eq!(got, words, "{} after stall release", kind.label());
+        assert_eq!(got, words, "{} after stall release", family.label());
     }
 }
 
 #[test]
 fn erratic_stall_pattern_is_lossless() {
     // A pseudo-random stall pattern exercises every flow-control path.
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+    for family in LinkFamily::ALL {
         let words: Vec<u64> = (0..16).map(|i| (i * 0x2468_ACE1) & 0xFFFF_FFFF).collect();
         let mut lfsr = 0xACE1u32;
         let stall_fn = move |_c: u64| {
@@ -82,10 +83,10 @@ fn erratic_stall_pattern_is_lossless() {
             lfsr & 3 == 0
         };
         let (mut sim, _, received) =
-            harness(kind, &LinkConfig::default(), words.clone(), Box::new(stall_fn));
+            harness(family, &LinkConfig::default(), words.clone(), Box::new(stall_fn));
         sim.run_until(Time::from_us(4)).unwrap();
         let got: Vec<u64> = received.borrow().iter().map(|&(_, w)| w).collect();
-        assert_eq!(got, words, "{} under erratic stall", kind.label());
+        assert_eq!(got, words, "{} under erratic stall", family.label());
     }
 }
 
@@ -109,11 +110,11 @@ fn slow_reset_release_is_tolerated() {
     // Hold reset for a long time while the clock runs; the link must
     // come up clean and deliver everything.
     let cfg = LinkConfig::default();
-    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
+    for family in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
         let mut sim = Simulator::new();
         let lib = St012Library::default();
         let mut b = CircuitBuilder::new(&mut sim, &lib);
-        let h = build_link(&mut b, kind, "link", &cfg).expect("link builds");
+        let h = generate(&mut b, &LinkSpec::paper(family), "link", &cfg).expect("link builds");
         b.finish();
         // Reset held for 20 clock cycles.
         sim.stimulus(
@@ -129,7 +130,7 @@ fn slow_reset_release_is_tolerated() {
         attach_sync_sink(&mut sim, "snk", snk, Time::ZERO);
         sim.run_until(Time::from_us(1)).unwrap();
         let got: Vec<u64> = received.borrow().iter().map(|&(_, w)| w).collect();
-        assert_eq!(got, words, "{} after long reset", kind.label());
+        assert_eq!(got, words, "{} after long reset", family.label());
     }
 }
 
@@ -139,7 +140,7 @@ fn back_to_back_bursts_with_single_flit_gaps() {
     // long stream: exercises the word-ack edge cases of I3.
     let words: Vec<u64> = (0..24).map(|i| (i | (i << 16)) & 0xFFFF_FFFF).collect();
     let (mut sim, _, received) = harness(
-        LinkKind::I3PerWord,
+        LinkFamily::PerWord,
         &LinkConfig::default(),
         words.clone(),
         Box::new(|c| c % 2 == 0),

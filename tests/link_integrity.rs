@@ -4,16 +4,17 @@
 
 use proptest::prelude::*;
 use sal::des::Time;
-use sal::link::measure::{run, MeasureOptions};
-use sal::link::{LinkConfig, LinkKind};
+use sal::link::measure::{run_spec, MeasureOptions};
+use sal::link::{LinkConfig, LinkFamily, LinkSpec};
 
-fn check(kind: LinkKind, cfg: &LinkConfig, words: &[u64]) {
-    let run = run(kind, cfg, words, &MeasureOptions::default()).expect("clean run");
+fn check(family: LinkFamily, cfg: &LinkConfig, words: &[u64]) {
+    let spec = LinkSpec::from_config(family, cfg).expect("valid spec");
+    let run = run_spec(&spec, cfg, words, &MeasureOptions::default()).expect("clean run");
     assert_eq!(
         run.received_words(),
         words,
         "{} corrupted data (cfg {:?})",
-        kind.label(),
+        family.label(),
         cfg
     );
 }
@@ -29,7 +30,7 @@ proptest! {
     ) {
         let cfg = LinkConfig { buffers, ..LinkConfig::default() };
         let words: Vec<u64> = words.into_iter().map(u64::from).collect();
-        check(LinkKind::I1Sync, &cfg, &words);
+        check(LinkFamily::Sync, &cfg, &words);
     }
 
     #[test]
@@ -39,7 +40,7 @@ proptest! {
     ) {
         let cfg = LinkConfig { buffers, ..LinkConfig::default() };
         let words: Vec<u64> = words.into_iter().map(u64::from).collect();
-        check(LinkKind::I2PerTransfer, &cfg, &words);
+        check(LinkFamily::PerTransfer, &cfg, &words);
     }
 
     #[test]
@@ -49,7 +50,7 @@ proptest! {
     ) {
         let cfg = LinkConfig { buffers, ..LinkConfig::default() };
         let words: Vec<u64> = words.into_iter().map(u64::from).collect();
-        check(LinkKind::I3PerWord, &cfg, &words);
+        check(LinkFamily::PerWord, &cfg, &words);
     }
 
     #[test]
@@ -62,8 +63,8 @@ proptest! {
             ..LinkConfig::default()
         };
         let words: Vec<u64> = (0..6).map(|i| (seed as u64).wrapping_mul(i + 1) & 0xFFFF_FFFF).collect();
-        check(LinkKind::I2PerTransfer, &cfg, &words);
-        check(LinkKind::I3PerWord, &cfg, &words);
+        check(LinkFamily::PerTransfer, &cfg, &words);
+        check(LinkFamily::PerWord, &cfg, &words);
     }
 
     #[test]
@@ -74,16 +75,16 @@ proptest! {
         let slice_width = [4u8, 8, 16][pick];
         let cfg = LinkConfig { slice_width, ..LinkConfig::default() };
         let words: Vec<u64> = words.into_iter().map(u64::from).collect();
-        check(LinkKind::I2PerTransfer, &cfg, &words);
-        check(LinkKind::I3PerWord, &cfg, &words);
+        check(LinkFamily::PerTransfer, &cfg, &words);
+        check(LinkFamily::PerWord, &cfg, &words);
     }
 }
 
 #[test]
 fn sixty_four_flits_sustained_all_links() {
     let words: Vec<u64> = (0..64).map(|i| (i * 0x9E37_79B9) & 0xFFFF_FFFF).collect();
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        check(kind, &LinkConfig::default(), &words);
+    for family in LinkFamily::ALL {
+        check(family, &LinkConfig::default(), &words);
     }
 }
 
@@ -91,7 +92,7 @@ fn sixty_four_flits_sustained_all_links() {
 fn sixteen_bit_flit_configuration() {
     let cfg = LinkConfig { flit_width: 16, slice_width: 4, ..LinkConfig::default() };
     let words: Vec<u64> = vec![0xFFFF, 0x0000, 0xA5A5, 0x5A5A, 0x8001];
-    for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        check(kind, &cfg, &words);
+    for family in LinkFamily::ALL {
+        check(family, &cfg, &words);
     }
 }

@@ -2,7 +2,7 @@
 //! derived from the gate-level links.
 
 use sal::des::Time;
-use sal::link::{LinkConfig, LinkKind};
+use sal::link::{LinkConfig, LinkFamily};
 use sal::noc::{
     ChannelFaults, ChannelProtection, ErrorProcess, FlowConfig, FlowSpec, LinkModel, Mesh,
     Network, NetworkConfig, NodeId, TrafficPattern,
@@ -29,8 +29,8 @@ fn serialized_mesh_carries_uniform_traffic_at_paper_clocks() {
     // the mesh behaves like the parallel one, with one-third the wires.
     for period_ps in [10_000u64, 3_333] {
         let cfg = LinkConfig { clk_period: Time::from_ps(period_ps), ..LinkConfig::default() };
-        let m_sync = LinkModel::from_link(LinkKind::I1Sync, &cfg);
-        let m_ser = LinkModel::from_link(LinkKind::I3PerWord, &cfg);
+        let m_sync = LinkModel::from_link(LinkFamily::Sync, &cfg);
+        let m_ser = LinkModel::from_link(LinkFamily::PerWord, &cfg);
         assert!(m_ser.wires * 3 <= m_sync.wires);
         let s_sync = net(m_sync, TrafficPattern::UniformRandom, 0.3, 3).run(6_000, 2_000);
         let s_ser = net(m_ser, TrafficPattern::UniformRandom, 0.3, 3).run(6_000, 2_000);
@@ -48,8 +48,8 @@ fn overdriven_serial_links_saturate_the_mesh_first() {
     // At 600 MHz the per-word link's self-timed rate (<1 flit/cycle)
     // becomes the bottleneck under heavy load.
     let cfg = LinkConfig { clk_period: Time::from_ps(1_667), ..LinkConfig::default() };
-    let m_sync = LinkModel::from_link(LinkKind::I1Sync, &cfg);
-    let m_ser = LinkModel::from_link(LinkKind::I3PerWord, &cfg);
+    let m_sync = LinkModel::from_link(LinkFamily::Sync, &cfg);
+    let m_ser = LinkModel::from_link(LinkFamily::PerWord, &cfg);
     assert!(m_ser.flits_per_cycle < 1.0);
     let s_sync = net(m_sync, TrafficPattern::UniformRandom, 0.6, 9).run(8_000, 2_000);
     let s_ser = net(m_ser, TrafficPattern::UniformRandom, 0.6, 9).run(8_000, 2_000);
@@ -65,7 +65,7 @@ fn overdriven_serial_links_saturate_the_mesh_first() {
 #[test]
 fn all_patterns_deliver_on_serialized_mesh() {
     let cfg = LinkConfig::default();
-    let model = LinkModel::from_link(LinkKind::I2PerTransfer, &cfg);
+    let model = LinkModel::from_link(LinkFamily::PerTransfer, &cfg);
     for pattern in [
         TrafficPattern::UniformRandom,
         TrafficPattern::Transpose,
@@ -90,7 +90,7 @@ fn flows_complete_over_a_lossy_serialized_mesh() {
     // flows must finish with exactly-once delivery and the recovery
     // ladder visibly exercised.
     let lcfg = LinkConfig::default();
-    let model = LinkModel::from_link(LinkKind::I3PerWord, &lcfg);
+    let model = LinkModel::from_link(LinkFamily::PerWord, &lcfg);
     let cfg = NetworkConfig {
         mesh: Mesh::new(4, 4),
         link: model,
@@ -123,7 +123,7 @@ fn flows_complete_over_a_lossy_serialized_mesh() {
 #[test]
 fn hotspot_saturates_below_uniform() {
     let cfg = LinkConfig::default();
-    let model = LinkModel::from_link(LinkKind::I3PerWord, &cfg);
+    let model = LinkModel::from_link(LinkFamily::PerWord, &cfg);
     let uni = net(model, TrafficPattern::UniformRandom, 0.45, 21).run(8_000, 2_000);
     let hot = net(
         model,

@@ -3,15 +3,20 @@
 //! EXPERIMENTS.md).
 
 use sal::des::Time;
-use sal::link::measure::{run, MeasureOptions};
+use sal::link::measure::{run_spec, MeasureOptions};
 use sal::link::testbench::worst_case_pattern;
-use sal::link::{LinkConfig, LinkKind};
+use sal::link::{LinkConfig, LinkFamily, LinkSpec};
 use sal::tech::WireModel;
 
-fn power(kind: LinkKind, buffers: u32, clk: Time, window: Option<Time>) -> f64 {
-    let cfg = LinkConfig { buffers, clk_period: clk, ..LinkConfig::default() };
+fn power(family: LinkFamily, buffers: u32, clk: Time, window: Option<Time>) -> f64 {
+    let spec = LinkSpec::builder()
+        .family(family)
+        .buffer_depth(buffers)
+        .build()
+        .expect("valid spec");
+    let cfg = LinkConfig { clk_period: clk, ..LinkConfig::default() };
     let opts = MeasureOptions { window_override: window, ..MeasureOptions::default() };
-    run(kind, &cfg, &worst_case_pattern(4, 32), &opts).expect("clean run").total_power_uw()
+    run_spec(&spec, &cfg, &worst_case_pattern(4, 32), &opts).expect("clean run").total_power_uw()
 }
 
 const CLK_100: Time = Time::from_ns(10);
@@ -32,32 +37,32 @@ fn sync_wins_at_two_buffers_async_wins_at_eight() {
     // 2, the synchronous implementation uses less power … when the
     // number of buffers increase the power in the synchronous
     // implementation increases unlike the asynchronous".
-    let i1_2 = power(LinkKind::I1Sync, 2, CLK_100, None);
-    let i2_2 = power(LinkKind::I2PerTransfer, 2, CLK_100, None);
+    let i1_2 = power(LinkFamily::Sync, 2, CLK_100, None);
+    let i2_2 = power(LinkFamily::PerTransfer, 2, CLK_100, None);
     assert!(i1_2 < i2_2, "sync should win at 2 buffers: {i1_2} vs {i2_2}");
-    let i1_8 = power(LinkKind::I1Sync, 8, CLK_100, None);
-    let i3_8 = power(LinkKind::I3PerWord, 8, CLK_100, None);
+    let i1_8 = power(LinkFamily::Sync, 8, CLK_100, None);
+    let i3_8 = power(LinkFamily::PerWord, 8, CLK_100, None);
     assert!(i3_8 < i1_8, "async should win at 8 buffers: {i3_8} vs {i1_8}");
 }
 
 #[test]
 fn sync_power_grows_with_buffers_async_stays_flat() {
     let i1_growth =
-        power(LinkKind::I1Sync, 8, CLK_100, None) / power(LinkKind::I1Sync, 2, CLK_100, None);
+        power(LinkFamily::Sync, 8, CLK_100, None) / power(LinkFamily::Sync, 2, CLK_100, None);
     assert!(i1_growth > 1.8, "I1 growth {i1_growth}");
-    for kind in [LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-        let g = power(kind, 8, CLK_100, None) / power(kind, 2, CLK_100, None);
+    for family in [LinkFamily::PerTransfer, LinkFamily::PerWord] {
+        let g = power(family, 8, CLK_100, None) / power(family, 2, CLK_100, None);
         assert!(
             g < 1.25,
             "{} power should be nearly buffer-independent, grew {g}",
-            kind.label()
+            family.label()
         );
     }
     // And I3's growth is below I2's (paper: 2% vs 20%).
-    let g2 = power(LinkKind::I2PerTransfer, 8, CLK_100, None)
-        / power(LinkKind::I2PerTransfer, 2, CLK_100, None);
+    let g2 = power(LinkFamily::PerTransfer, 8, CLK_100, None)
+        / power(LinkFamily::PerTransfer, 2, CLK_100, None);
     let g3 =
-        power(LinkKind::I3PerWord, 8, CLK_100, None) / power(LinkKind::I3PerWord, 2, CLK_100, None);
+        power(LinkFamily::PerWord, 8, CLK_100, None) / power(LinkFamily::PerWord, 2, CLK_100, None);
     assert!(g3 < g2, "per-word growth {g3} should undercut per-transfer {g2}");
 }
 
@@ -67,17 +72,21 @@ fn headline_power_reduction_at_300mhz_8_buffers() {
     // asynchronous in this case". Accept the 55–80% band (the shape
     // claim), measured with the paper's fixed-window protocol.
     let base = {
-        let cfg = LinkConfig { buffers: 8, ..LinkConfig::default() };
-        run(
-            LinkKind::I1Sync,
-            &cfg,
+        let spec = LinkSpec::builder()
+            .family(LinkFamily::Sync)
+            .buffer_depth(8)
+            .build()
+            .expect("valid spec");
+        run_spec(
+            &spec,
+            &LinkConfig::default(),
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
         ).expect("clean run")
         .window
     };
-    let i1 = power(LinkKind::I1Sync, 8, clk_300(), Some(base));
-    let i3 = power(LinkKind::I3PerWord, 8, clk_300(), Some(base));
+    let i1 = power(LinkFamily::Sync, 8, clk_300(), Some(base));
+    let i3 = power(LinkFamily::PerWord, 8, clk_300(), Some(base));
     let reduction = 1.0 - i3 / i1;
     assert!(
         (0.55..=0.80).contains(&reduction),
@@ -88,19 +97,23 @@ fn headline_power_reduction_at_300mhz_8_buffers() {
 #[test]
 fn sync_power_scales_with_clock_async_does_not() {
     let base = {
-        let cfg = LinkConfig { buffers: 8, ..LinkConfig::default() };
-        run(
-            LinkKind::I1Sync,
-            &cfg,
+        let spec = LinkSpec::builder()
+            .family(LinkFamily::Sync)
+            .buffer_depth(8)
+            .build()
+            .expect("valid spec");
+        run_spec(
+            &spec,
+            &LinkConfig::default(),
             &worst_case_pattern(4, 32),
             &MeasureOptions::default(),
         ).expect("clean run")
         .window
     };
     let i1_ratio =
-        power(LinkKind::I1Sync, 8, clk_300(), Some(base)) / power(LinkKind::I1Sync, 8, CLK_100, None);
-    let i3_ratio = power(LinkKind::I3PerWord, 8, clk_300(), Some(base))
-        / power(LinkKind::I3PerWord, 8, CLK_100, None);
+        power(LinkFamily::Sync, 8, clk_300(), Some(base)) / power(LinkFamily::Sync, 8, CLK_100, None);
+    let i3_ratio = power(LinkFamily::PerWord, 8, clk_300(), Some(base))
+        / power(LinkFamily::PerWord, 8, CLK_100, None);
     assert!(i1_ratio > 2.0, "I1 should roughly track frequency, got x{i1_ratio:.2}");
     assert!(i3_ratio < i1_ratio, "I3 must scale slower than I1");
 }
@@ -109,18 +122,18 @@ fn sync_power_scales_with_clock_async_does_not() {
 fn area_overhead_is_modest() {
     // Paper Table 1: I2/I3 carry a ~20% circuit overhead over I1.
     // Accept up to 35% and require the async links to be larger.
-    let area = |kind| {
-        run(
-            kind,
+    let area = |family| {
+        run_spec(
+            &LinkSpec::paper(family),
             &LinkConfig::default(),
             &worst_case_pattern(2, 32),
             &MeasureOptions::default(),
         ).expect("clean run")
         .area_um2()
     };
-    let i1 = area(LinkKind::I1Sync);
-    let i2 = area(LinkKind::I2PerTransfer);
-    let i3 = area(LinkKind::I3PerWord);
+    let i1 = area(LinkFamily::Sync);
+    let i2 = area(LinkFamily::PerTransfer);
+    let i3 = area(LinkFamily::PerWord);
     assert!(i2 > i1 && i3 > i1, "async links must cost more cells");
     assert!(i2 / i1 < 1.35, "I2 overhead {:.0}%", (i2 / i1 - 1.0) * 100.0);
     assert!(i3 / i1 < 1.35, "I3 overhead {:.0}%", (i3 / i1 - 1.0) * 100.0);
@@ -147,8 +160,10 @@ fn throughput_parity_with_synchronous_link() {
             ..LinkConfig::default()
         };
         let words: Vec<u64> = (0..12).map(|i| (i * 0x0101_0101) & 0xFFFF_FFFF).collect();
-        let i1 = run(LinkKind::I1Sync, &cfg, &words, &MeasureOptions::default()).expect("clean run");
-        let i3 = run(LinkKind::I3PerWord, &cfg, &words, &MeasureOptions::default()).expect("clean run");
+        let i1 = run_spec(&LinkSpec::paper(LinkFamily::Sync), &cfg, &words, &MeasureOptions::default())
+            .expect("clean run");
+        let i3 = run_spec(&LinkSpec::paper(LinkFamily::PerWord), &cfg, &words, &MeasureOptions::default())
+            .expect("clean run");
         let r1 = i1.throughput_mflits();
         let r3 = i3.throughput_mflits();
         assert!(
