@@ -15,6 +15,8 @@ fn bench_mesh(c: &mut Criterion) {
                     input_queue_flits: 8,
                     packet_len_flits: 4,
                     faults: None,
+                    routing: sal_noc::RoutingMode::XyStatic,
+                    link_kills: Vec::new(),
                 };
                 let mut net = Network::new(cfg, TrafficPattern::UniformRandom, rate, 5);
                 net.run(2_000, 500).delivered_flits

@@ -445,6 +445,8 @@ pub fn noc_study() -> Vec<NocRow> {
             input_queue_flits: 8,
             packet_len_flits: 4,
             faults: None,
+            routing: sal_noc::RoutingMode::XyStatic,
+            link_kills: Vec::new(),
         };
         let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 2024);
         let stats = net.run(6_000, 2_000);
@@ -494,6 +496,8 @@ pub fn noc_curves() -> Vec<CurvePoint> {
             input_queue_flits: 8,
             packet_len_flits: 4,
             faults: None,
+            routing: sal_noc::RoutingMode::XyStatic,
+            link_kills: Vec::new(),
         };
         let mut net = Network::new(cfg, TrafficPattern::UniformRandom, offered, 4242);
         let stats = net.run(6_000, 2_000);

@@ -156,6 +156,8 @@ fn cell_config(spec: CellSpec) -> (NetworkConfig, FlowConfig) {
         input_queue_flits: 8,
         packet_len_flits: 4,
         faults: Some(faults),
+        routing: sal_noc::RoutingMode::XyStatic,
+        link_kills: Vec::new(),
     };
     let mut flows = FlowConfig::new(layout_flows(spec.layout));
     // The livelock horizon must exceed the worst legitimate silence

@@ -24,6 +24,7 @@
 //! | `flows` | End-to-end flows over lossy mesh channels (goodput-collapse curves) |
 //! | `compile` | Compiled-engine equivalence + bit-sliced seed campaigns |
 //! | `pareto` | Design-space sweep over the `LinkSpec` lattice (extension) |
+//! | `reroute` | Fault-tolerant routing vs link failure (reconfiguration extension) |
 
 #![forbid(unsafe_code)]
 
@@ -33,6 +34,7 @@ pub mod experiments;
 pub mod flows;
 pub mod pareto;
 pub mod recovery;
+pub mod reroute;
 pub mod robustness;
 pub mod sliced;
 pub mod sweep;

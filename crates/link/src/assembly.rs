@@ -15,63 +15,6 @@ use crate::{
     LinkConfig, ProtectionMode, RecoverySignals, WordRxStyle,
 };
 
-/// Which of the paper's three fixed implementations a handle refers
-/// to — the pre-`LinkSpec` name for a [`LinkFamily`].
-#[deprecated(
-    since = "0.8.0",
-    note = "use `LinkFamily` and the declarative `LinkSpec` API (see DESIGN.md §5g)"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
-pub enum LinkKind {
-    /// I1 — fully synchronous parallel link.
-    I1Sync,
-    /// I2 — asynchronous serialized, per-transfer acknowledgement.
-    I2PerTransfer,
-    /// I3 — asynchronous serialized, per-word acknowledgement.
-    I3PerWord,
-}
-
-#[allow(deprecated)]
-impl LinkKind {
-    /// The [`LinkFamily`] this kind names.
-    pub fn family(self) -> LinkFamily {
-        match self {
-            LinkKind::I1Sync => LinkFamily::Sync,
-            LinkKind::I2PerTransfer => LinkFamily::PerTransfer,
-            LinkKind::I3PerWord => LinkFamily::PerWord,
-        }
-    }
-
-    /// The paper's label (I1/I2/I3).
-    pub fn label(self) -> &'static str {
-        self.family().label()
-    }
-
-    /// Number of switch-to-switch wires this link needs.
-    pub fn wires(self, cfg: &LinkConfig) -> u32 {
-        self.family().wires(cfg)
-    }
-}
-
-#[allow(deprecated)]
-impl From<LinkKind> for LinkFamily {
-    fn from(kind: LinkKind) -> LinkFamily {
-        kind.family()
-    }
-}
-
-#[allow(deprecated)]
-impl From<LinkFamily> for LinkKind {
-    fn from(family: LinkFamily) -> LinkKind {
-        match family {
-            LinkFamily::Sync => LinkKind::I1Sync,
-            LinkFamily::PerTransfer => LinkKind::I2PerTransfer,
-            LinkFamily::PerWord => LinkKind::I3PerWord,
-        }
-    }
-}
-
 /// Everything the testbench and the measurement layer need to drive a
 /// built link.
 #[derive(Debug, Clone)]
@@ -562,8 +505,7 @@ pub(crate) fn build_i3(
 }
 
 /// Builds a link of the given family in scope `name` — the assembly
-/// dispatcher behind [`generate`](crate::generate) and the deprecated
-/// [`build_link`] shim.
+/// dispatcher behind [`generate`](crate::generate).
 pub(crate) fn build_family(
     b: &mut CircuitBuilder<'_>,
     family: LinkFamily,
@@ -597,21 +539,6 @@ pub(crate) fn build_family(
         }
     }
     Ok(handles)
-}
-
-/// Builds a link of the given kind in scope `name`.
-#[deprecated(
-    since = "0.8.0",
-    note = "use `generate` with a `LinkSpec` (see DESIGN.md §5g)"
-)]
-#[allow(deprecated)]
-pub fn build_link(
-    b: &mut CircuitBuilder<'_>,
-    kind: LinkKind,
-    name: &str,
-    cfg: &LinkConfig,
-) -> Result<LinkHandles, BuildError> {
-    build_family(b, kind.family(), name, cfg)
 }
 
 #[cfg(test)]
@@ -698,31 +625,4 @@ mod tests {
         }
     }
 
-    /// The deprecated kind-based shims must keep building the exact
-    /// same netlists the spec path generates.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_spec_path() {
-        use crate::measure::run;
-        let words = worst_case_pattern(4, 32);
-        for kind in [LinkKind::I1Sync, LinkKind::I2PerTransfer, LinkKind::I3PerWord] {
-            let old = run(kind, &LinkConfig::default(), &words, &MeasureOptions::default())
-                .expect("clean run");
-            let new = run_spec(
-                &LinkSpec::paper(kind.family()),
-                &LinkConfig::default(),
-                &words,
-                &MeasureOptions::default(),
-            )
-            .expect("clean run");
-            assert_eq!(old.received, new.received, "{}", kind.label());
-            assert_eq!(
-                old.total_power_uw().to_bits(),
-                new.total_power_uw().to_bits(),
-                "{} energies diverge between shim and spec path",
-                kind.label()
-            );
-            assert_eq!(old.family, kind.family());
-        }
-    }
 }

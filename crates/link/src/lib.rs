@@ -26,9 +26,7 @@
 //! a declarative [`LinkSpec`] — family × word width × ratio × buffer
 //! depth × protection — is validated up front ([`SpecError`]) and
 //! compiled to a netlist by [`generate`], lint-clean by construction.
-//! The paper's three links are just [`LinkSpec::paper`] points. The
-//! pre-spec names ([`LinkKind`], [`build_link`], [`run`]) remain as
-//! deprecated shims over the same assembly.
+//! The paper's three links are just [`LinkSpec::paper`] points.
 //!
 //! Every block is built from `sal-cells` primitives through the
 //! [`CircuitBuilder`](sal_cells::CircuitBuilder), so the technology
@@ -41,7 +39,7 @@
 //! asynchronous handshake drivers used by unit tests and by the
 //! benchmark harness, and [`measure`] runs the paper's measurement
 //! protocol (worst-case flit pattern, 50 % usage window) through the
-//! single entry point [`run`]. Observability — transition traces,
+//! single entry point [`run_spec`]. Observability — transition traces,
 //! handshake-latency histograms, per-block energy attribution, kernel
 //! profiling — is opt-in via
 //! [`MeasureOptions::with_trace`]/[`MeasureOptions::with_metrics`]
@@ -69,15 +67,9 @@ mod word_deserializer;
 mod word_serializer;
 
 pub use as_interface::{build_as_interface, AsInterfacePorts};
-#[allow(deprecated)]
-pub use assembly::LinkKind;
 pub use assembly::LinkHandles;
-#[allow(deprecated)]
-pub use assembly::build_link;
 pub use config::{ConfigError, LinkConfig, ProtectionMode, WordRxStyle};
 pub use deserializer::{build_deserializer, DeserializerPorts};
-#[allow(deprecated)]
-pub use measure::run;
 pub use measure::{
     run_spec, BlockPower, LinkRun, MeasureOptions, RunFailure, TraceMode,
 };

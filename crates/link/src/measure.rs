@@ -336,8 +336,7 @@ pub struct LinkRun {
     /// Which link family was measured.
     pub family: LinkFamily,
     /// The spec the link was generated from, when the run came in
-    /// through [`run_spec`] (or the deprecated shim could recover
-    /// one from its config).
+    /// through [`run_spec`].
     pub spec: Option<LinkSpec>,
     /// The effective configuration measured (spec merged onto the
     /// physical base).
@@ -545,25 +544,8 @@ pub fn run_spec(
     run_family(spec.family(), &cfg, Some(spec.clone()), words, opts)
 }
 
-/// Runs `words` through a freshly built link of `kind` under the
-/// exact configuration `cfg`.
-#[deprecated(
-    since = "0.8.0",
-    note = "use `run_spec` with a `LinkSpec` (see DESIGN.md §5g)"
-)]
-#[allow(deprecated)]
-pub fn run(
-    kind: crate::LinkKind,
-    cfg: &LinkConfig,
-    words: &[u64],
-    opts: &MeasureOptions,
-) -> Result<LinkRun, RunFailure> {
-    let spec = LinkSpec::from_config(kind.family(), cfg).ok();
-    run_family(kind.family(), cfg, spec, words, opts)
-}
-
-/// The measurement protocol shared by [`run_spec`] and the deprecated
-/// [`run`] shim: `cfg` is the final effective configuration.
+/// The measurement protocol behind [`run_spec`]: `cfg` is the final
+/// effective configuration.
 fn run_family(
     family: LinkFamily,
     cfg: &LinkConfig,

@@ -42,10 +42,8 @@ use crate::config::{ConfigError, LinkConfig, ProtectionMode};
 
 /// The three link architectures of the paper's Fig 9, as *families*
 /// the generator parameterizes over width, ratio, depth and
-/// protection.
-///
-/// Replaces the deprecated [`LinkKind`](crate::LinkKind), whose
-/// variants named the three fixed paper points.
+/// protection. (The pre-spec `LinkKind` enum, whose variants named the
+/// three fixed paper points, is gone — the spec path is the only one.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[derive(serde::Serialize, serde::Deserialize)]
 pub enum LinkFamily {

@@ -24,9 +24,10 @@ use sal_link::testbench::{
 use sal_link::{generate, LinkConfig, LinkFamily, LinkSpec};
 use std::fmt::Write as _;
 
-/// The fixture's historical section tag for a family (the old
-/// `LinkKind` debug name); kept so the committed golden file stays
-/// byte-identical across the `LinkSpec` API redesign.
+/// The fixture's historical section tag for a family (the debug name
+/// of the removed pre-spec `LinkKind` enum); kept so the committed
+/// golden file stays byte-identical across the `LinkSpec` API
+/// redesign.
 fn tag(family: LinkFamily) -> &'static str {
     match family {
         LinkFamily::Sync => "I1Sync",

@@ -32,14 +32,22 @@
 //!   ack) are absorbed by the receiver's out-of-order buffer: the
 //!   application sees every sequence number exactly once.
 //!
+//! Under [`crate::RoutingMode::Adaptive`] this layer also recovers
+//! the packets a reconfiguration epoch strands: a worm severed by a
+//! dying channel simply never acks, the retransmission timer fires,
+//! and the resent copy takes the rebuilt routes — the receiver's
+//! dedup keeps delivery exactly-once across the reroute (see
+//! DESIGN.md §5h).
+//!
 //! The [`ProgressWatchdog`] closes the loop on the failure modes the
 //! protocol *cannot* heal (a permanently failed channel on the only
-//! XY path): every `interval` cycles it compares cumulative acks
-//! against the last check and, when flows starve, emits a
-//! [`StallReport`] naming the starved flows (with their whole sender
-//! state) and the stalled channels. A run whose every flow stops
-//! progressing for [`WatchdogConfig::hard_stall_checks`] consecutive
-//! checks is declared livelocked and aborted — diagnosed, never hung.
+//! path static XY ever offers): every `interval` cycles it compares
+//! cumulative acks against the last check and, when flows starve,
+//! emits a [`StallReport`] naming the starved flows (with their whole
+//! sender state) and the stalled channels. A run whose every flow
+//! stops progressing for [`WatchdogConfig::hard_stall_checks`]
+//! consecutive checks is declared livelocked and aborted — diagnosed,
+//! never hung.
 
 use std::collections::{BTreeMap, BTreeSet};
 

@@ -23,6 +23,8 @@
 //!     input_queue_flits: 8,
 //!     packet_len_flits: 4,
 //!     faults: None,
+//!     routing: sal_noc::RoutingMode::XyStatic,
+//!     link_kills: Vec::new(),
 //! };
 //! let mut net = Network::new(cfg, TrafficPattern::UniformRandom, 0.1, 42);
 //! let stats = net.run(2_000, 500);
@@ -37,6 +39,13 @@
 //! with AIMD congestion control, cumulative acks riding the mesh, and
 //! a progress watchdog that names starved flows and stalled channels
 //! instead of hanging).
+//!
+//! Routing is pluggable ([`RoutingMode`]): static dimension-ordered
+//! XY, or fault-tolerant adaptive routing ([`routing`]) that survives
+//! permanent link failure by online reconfiguration — odd-even
+//! turn-model adaptivity on the whole mesh, up*/down* routing around
+//! holes, stranded/salvaged packet accounting, and health-biased
+//! output selection away from degraded channels.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +56,7 @@ mod link_model;
 mod network;
 mod packet;
 mod router;
+pub mod routing;
 mod stats;
 mod topology;
 mod traffic;
@@ -60,6 +70,7 @@ pub use link_model::LinkModel;
 pub use network::{FlowNetReport, Network, NetworkConfig};
 pub use packet::{Flit, FlitKind, Packet, PacketId};
 pub use router::Router;
+pub use routing::{LinkHealth, LinkKill, RouteTable, RoutingMode};
 pub use stats::{LinkRecovery, NetworkStats};
 pub use topology::{Direction, Mesh, NodeId};
 pub use traffic::TrafficPattern;

@@ -1,12 +1,13 @@
 //! The cycle-driven network simulator.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::fault::{ChannelFaults, ChannelState, FaultDice, RecoveryCounts, Upset};
 use crate::flow::{FlowConfig, FlowEngine, FlowStats, FlowTag, StallReport, StalledChannel, jain_index};
+use crate::routing::{LinkHealth, LinkKill, RouteTable, RoutingMode};
 use crate::stats::LinkRecovery;
 use crate::{
     Direction, Flit, LinkModel, Mesh, NetworkStats, NodeId, Packet, PacketId, Router,
@@ -29,6 +30,12 @@ pub struct NetworkConfig {
     /// the NACK/timeout/resync/degrade/fail escalation ladder; the
     /// protection mode's bandwidth tax is applied to the link model.
     pub faults: Option<ChannelFaults>,
+    /// Routing policy: static XY or fault-tolerant adaptive with
+    /// online reconfiguration (see [`RoutingMode`]).
+    pub routing: RoutingMode,
+    /// Scheduled permanent channel deaths (directed failure
+    /// scenarios; composes with `faults`-driven escalation).
+    pub link_kills: Vec<LinkKill>,
 }
 
 /// Dynamic lossy-channel state: the seeded dice plus the escalation
@@ -36,7 +43,6 @@ pub struct NetworkConfig {
 #[derive(Debug)]
 struct Lossy {
     dice: FaultDice,
-    state: ChannelState,
     /// Consecutive failed delivery attempts of the current head flit.
     consec: u32,
     /// Resyncs burned on the current head flit (escalation driver).
@@ -56,6 +62,14 @@ struct Channel {
     buffer_credits: usize,
     /// Last cycle anything was delivered (watchdog diagnosis).
     last_delivery: u64,
+    /// Health state: escalation-driven on lossy channels, or set
+    /// directly by scheduled [`LinkKill`]s — which is why it lives on
+    /// the channel, not inside the fault machinery.
+    state: ChannelState,
+    /// Sticky record that the channel entered `Failed` at least once —
+    /// a last-resort retrain can revive the *state*, but the failure
+    /// must stay visible in the recovery rows.
+    ever_failed: bool,
     /// Fault machinery, when the network is lossy.
     lossy: Option<Lossy>,
 }
@@ -68,6 +82,8 @@ impl Channel {
             rate_credit: 1.0,
             buffer_credits: downstream_capacity,
             last_delivery: 0,
+            state: ChannelState::Up,
+            ever_failed: false,
             lossy,
         }
     }
@@ -75,14 +91,21 @@ impl Channel {
     /// Availability: a failed channel never accepts, a resyncing one
     /// is draining and refuses new work.
     fn is_open(&self) -> bool {
-        match &self.lossy {
-            Some(l) => !matches!(l.state, ChannelState::Failed | ChannelState::Resyncing { .. }),
-            None => true,
-        }
+        !matches!(self.state, ChannelState::Failed | ChannelState::Resyncing { .. })
     }
 
     fn can_accept(&self) -> bool {
         self.is_open() && self.rate_credit >= 1.0 && self.buffer_credits > self.in_flight.len()
+    }
+
+    /// The health class the route table's bias sees.
+    fn health(&self) -> LinkHealth {
+        match self.state {
+            ChannelState::Up => LinkHealth::Up,
+            ChannelState::Degraded { .. } => LinkHealth::Degraded,
+            ChannelState::Resyncing { .. } => LinkHealth::Resyncing,
+            ChannelState::Failed => LinkHealth::Failed,
+        }
     }
 
     fn send(&mut self, now: u64, flit: Flit) {
@@ -93,16 +116,16 @@ impl Channel {
 
     fn tick(&mut self, now: u64) {
         let mut rate = self.model.flits_per_cycle;
-        if let Some(l) = &mut self.lossy {
-            match l.state {
-                ChannelState::Failed => rate = 0.0,
-                ChannelState::Degraded { until } if now < until => {
-                    // Transient degrade: half bandwidth.
-                    rate /= 2.0;
+        match self.state {
+            ChannelState::Failed => rate = 0.0,
+            ChannelState::Degraded { until } if now < until => {
+                // Transient degrade: half bandwidth.
+                rate /= 2.0;
+                if let Some(l) = &mut self.lossy {
                     l.counts.degraded_cycles += 1;
                 }
-                _ => {}
             }
+            _ => {}
         }
         self.rate_credit = (self.rate_credit + rate).min(2.0);
     }
@@ -162,6 +185,19 @@ pub struct Network {
     flow_tags: HashMap<PacketId, FlowTag>,
     /// The transport engine (flow mode only).
     flows: Option<FlowEngine>,
+    /// The live routing function (used in adaptive mode; rebuilt on
+    /// every reconfiguration epoch).
+    routes: RouteTable,
+    /// Scheduled channel deaths, sorted by cycle; `kill_idx` is the
+    /// next one due.
+    kills: Vec<LinkKill>,
+    kill_idx: usize,
+    /// Injection is paused until this cycle (reconfiguration epoch).
+    inject_frozen_until: u64,
+    /// Packets already counted stranded (static XY leaves a severed
+    /// packet's upstream fragments wedged in place, and a later
+    /// failure must not count the same packet twice).
+    stranded_ids: HashSet<PacketId>,
     next_packet: u64,
     cycle: u64,
 }
@@ -191,22 +227,27 @@ impl Network {
             None => cfg.link,
         };
         let mut channels = HashMap::new();
-        for n in mesh.node_ids() {
-            for dir in [Direction::North, Direction::South, Direction::East, Direction::West] {
-                if mesh.neighbor(n, dir).is_some() {
-                    let lossy = cfg.faults.map(|fc| Lossy {
-                        dice: FaultDice::new(fc, seed, n.0, dir.index()),
-                        state: ChannelState::Up,
-                        consec: 0,
-                        head_resyncs: 0,
-                        counts: RecoveryCounts::default(),
-                    });
-                    channels.insert(
-                        (n.0, dir.index()),
-                        Channel::new(model, cfg.input_queue_flits, lossy),
-                    );
-                }
-            }
+        for (n, dir) in mesh.directed_channels() {
+            let lossy = cfg.faults.map(|fc| Lossy {
+                dice: FaultDice::new(fc, seed, n.0, dir.index()),
+                consec: 0,
+                head_resyncs: 0,
+                counts: RecoveryCounts::default(),
+            });
+            channels.insert(
+                (n.0, dir.index()),
+                Channel::new(model, cfg.input_queue_flits, lossy),
+            );
+        }
+        let mut kills = cfg.link_kills.clone();
+        kills.sort_by_key(|k| (k.cycle, k.node.0, k.dir.index()));
+        for k in &kills {
+            assert!(
+                channels.contains_key(&(k.node.0, k.dir.index())),
+                "scheduled kill of a channel that does not exist: {} {:?}",
+                k.node,
+                k.dir
+            );
         }
         let nodes = mesh.nodes();
         Network {
@@ -221,6 +262,11 @@ impl Network {
             corrupt_xor: HashMap::new(),
             flow_tags: HashMap::new(),
             flows: None,
+            routes: RouteTable::new(mesh),
+            kills,
+            kill_idx: 0,
+            inject_frozen_until: 0,
+            stranded_ids: HashSet::new(),
             next_packet: 0,
             cycle: 0,
         }
@@ -268,7 +314,8 @@ impl Network {
             delivered_total = stats.delivered_packets;
         }
         stats.cycles = total_cycles - warmup_cycles;
-        stats.in_flight = created_total.saturating_sub(delivered_total);
+        stats.in_flight =
+            created_total.saturating_sub(delivered_total + stats.stranded_packets);
         self.finalize(&mut stats);
         stats
     }
@@ -305,8 +352,17 @@ impl Network {
             }
         }
         stats.cycles = cycles;
-        stats.in_flight = created_total.saturating_sub(stats.delivered_packets);
+        stats.in_flight =
+            created_total.saturating_sub(stats.delivered_packets + stats.stranded_packets);
         self.finalize(&mut stats);
+        // Flow mode measures from cycle 0, so the flit conservation
+        // law is exact: every injected flit was delivered, stranded
+        // by a channel death, or is still queued somewhere.
+        assert_eq!(
+            stats.injected_flits,
+            stats.delivered_flits + stats.stranded_flits + stats.residual_flits,
+            "flit conservation violated"
+        );
         let engine = self.flows.as_ref().expect("flow mode");
         let flows = engine.stats(cycles);
         let goodputs: Vec<f64> = flows.iter().map(|f| f.goodput_ppc).collect();
@@ -328,13 +384,25 @@ impl Network {
     /// and `p = 0` runs compare equal field-for-field.
     fn finalize(&self, stats: &mut NetworkStats) {
         stats.finalize_latencies();
+        // Flits still queued anywhere in the fabric (conservation).
+        stats.residual_flits = self
+            .routers
+            .iter()
+            .map(|r| r.occupancy() as u64)
+            .sum::<u64>()
+            + self.channels.values().map(|c| c.in_flight.len() as u64).sum::<u64>()
+            + self.inject_q.iter().map(|q| q.len() as u64).sum::<u64>();
         let mut rows: Vec<LinkRecovery> = self
             .channels
             .iter()
-            .map(|((node, diri), ch)| LinkRecovery {
-                node: NodeId(*node),
-                dir: Direction::ALL[*diri],
-                counts: ch.lossy.as_ref().map(|l| l.counts).unwrap_or_default(),
+            .map(|((node, diri), ch)| {
+                let mut counts = ch.lossy.as_ref().map(|l| l.counts).unwrap_or_default();
+                // Scheduled kills fail channels without fault
+                // machinery, and a retrained channel no longer *is*
+                // Failed — the sticky bit surfaces both in the
+                // recovery rows.
+                counts.failed = counts.failed || ch.ever_failed;
+                LinkRecovery { node: NodeId(*node), dir: Direction::ALL[*diri], counts }
             })
             .collect();
         rows.sort_by_key(|r| (r.node, r.dir.index()));
@@ -350,10 +418,7 @@ impl Network {
             .channels
             .iter()
             .filter_map(|((node, diri), ch)| {
-                let state = match &ch.lossy {
-                    Some(l) => l.state.label(),
-                    None => "up",
-                };
+                let state = ch.state.label();
                 let queued = ch.in_flight.len();
                 let wedged = state == "failed"
                     || (queued > 0 && now.saturating_sub(ch.last_delivery) >= interval);
@@ -390,11 +455,215 @@ impl Network {
         self.packets.insert(pkt.id, pkt);
     }
 
+    /// One reconfiguration epoch around the channels that entered
+    /// `Failed` this cycle.
+    ///
+    /// In both routing modes the dead wires are drained: flits caught
+    /// mid-flight are gone, and their packets counted stranded (they
+    /// used to sit in the dead queue silently — the stranding the
+    /// `stranded_flits` counter makes visible).
+    ///
+    /// In adaptive mode the network additionally performs surgery so
+    /// the survivors keep flowing deadlock-free: *every* wormhole lock
+    /// is released — a packet whose head had not yet crossed its
+    /// locked output is *salvaged* (it simply re-arbitrates on the
+    /// rebuilt table), one whose head already crossed is severed and
+    /// purged everywhere, because a worm straddling routers drags
+    /// pre-epoch channel dependencies that can deadlock against the
+    /// rebuilt relation (the transport layer retransmits it over the
+    /// new routes). The route table is rebuilt against the full failed
+    /// set, heads the new relation cannot route from where they stand
+    /// are severed too, and injection pauses for the configured
+    /// reconfiguration window. See DESIGN.md §5h.
+    /// When even reconfiguration cannot keep every pair routable, the
+    /// minimal set of failed channels is *revived* through a deep
+    /// retrain instead (counted in `retrained_links`) — a retrained
+    /// link stays dark for this many cycles before re-entering
+    /// service.
+    const RETRAIN_DRAIN: u64 = 256;
+
+    fn handle_failures(&mut self, mut newly: Vec<(u16, usize)>, stats: &mut NetworkStats) {
+        newly.sort_unstable();
+        newly.dedup();
+        // Drain the dead wires.
+        let mut doomed: BTreeSet<PacketId> = BTreeSet::new();
+        for &(node, diri) in &newly {
+            let ch = self.channels.get_mut(&(node, diri)).expect("failed channel exists");
+            for (_, f) in ch.in_flight.drain(..) {
+                stats.stranded_flits += 1;
+                doomed.insert(f.packet);
+            }
+        }
+        if !self.cfg.routing.is_adaptive() {
+            // Static XY: no reconfiguration. Upstream fragments stay
+            // wedged (the pre-reroute livelock behaviour, preserved
+            // and pinned by test); only the accounting is new.
+            for pid in doomed {
+                if self.stranded_ids.insert(pid) {
+                    stats.stranded_packets += 1;
+                }
+            }
+            return;
+        }
+        // Every wormhole lock held at the epoch boundary was granted
+        // under the pre-failure routing relation, and a worm whose
+        // head already crossed the locked output keeps dragging
+        // old-relation channel dependencies through the fabric — mixed
+        // with the rebuilt relation those can close a deadlock cycle,
+        // so such worms are severed. A worm whose head is still queued
+        // at the owning input is salvaged: the lock is released and
+        // the head re-arbitrates on the rebuilt table, so its entire
+        // remaining path obeys the new relation.
+        let mut salvage: BTreeSet<PacketId> = BTreeSet::new();
+        for r in &mut self.routers {
+            for out in Direction::ALL {
+                if let Some((pid, head_still_queued)) = r.disown_output(out) {
+                    if head_still_queued {
+                        salvage.insert(pid);
+                    } else {
+                        doomed.insert(pid);
+                    }
+                }
+            }
+        }
+        // Rebuild the table against the full failed set, then doom
+        // every head the new relation cannot route from where it
+        // stands: a packet's inbound channel may now be classified
+        // "down" while its remaining journey needs an "up" move, and
+        // such a head would otherwise wait forever.
+        let mut failed: BTreeSet<(u16, u8)> = self
+            .channels
+            .iter()
+            .filter(|(_, ch)| matches!(ch.state, ChannelState::Failed))
+            .map(|(&(n, d), _)| (n, d as u8))
+            .collect();
+        // Last-resort retrain: up*/down* routes every pair only while
+        // the surviving directed graph keeps a legal path between all
+        // of them. When the failure pattern severs part of the fabric
+        // (e.g. both inbound channels of a node die), no route table
+        // can save the severed traffic — so rather than abandon a
+        // node, the fabric manager revives failed channels one at a
+        // time (each greedily chosen to close the most unroutable
+        // pairs) and puts them back through a deep resync. A retrained
+        // link re-enters service with its escalation ladder reset; XY
+        // mode never reaches this code, so its livelock is preserved.
+        let mut revived: Vec<(u16, u8)> = Vec::new();
+        loop {
+            self.routes.rebuild(failed.clone());
+            if self.routes.unroutable_pairs() == 0 || failed.is_empty() {
+                break;
+            }
+            let mut probe = self.routes.clone();
+            let mut best: Option<((u16, u8), u32)> = None;
+            for &c in &failed {
+                let mut f = failed.clone();
+                f.remove(&c);
+                probe.rebuild(f);
+                let gaps = probe.unroutable_pairs();
+                if best.is_none_or(|(_, g)| gaps < g) {
+                    best = Some((c, gaps));
+                }
+            }
+            let (c, _) = best.expect("failed set is non-empty");
+            failed.remove(&c);
+            revived.push(c);
+        }
+        for &(node, diri) in &revived {
+            let ch = self
+                .channels
+                .get_mut(&(node, usize::from(diri)))
+                .expect("revived channel exists");
+            ch.state = ChannelState::Resyncing { until: self.cycle + Self::RETRAIN_DRAIN };
+            if let Some(l) = &mut ch.lossy {
+                l.consec = 0;
+                l.head_resyncs = 0;
+            }
+            stats.retrained_links += 1;
+        }
+        let mesh = self.cfg.mesh;
+        for (idx, r) in self.routers.iter().enumerate() {
+            let at = NodeId(idx as u16);
+            for (in_port, f) in r.queued_heads() {
+                if self.routes.permitted(f.src, at, in_port, f.dst).is_empty() {
+                    doomed.insert(f.packet);
+                }
+            }
+        }
+        for (&(node, diri), ch) in &self.channels {
+            let dir = Direction::ALL[diri];
+            let to = mesh.neighbor(NodeId(node), dir).expect("channel to nowhere");
+            for (_, f) in &ch.in_flight {
+                if f.is_head()
+                    && self.routes.permitted(f.src, to, dir.opposite(), f.dst).is_empty()
+                {
+                    doomed.insert(f.packet);
+                }
+            }
+        }
+        for (idx, q) in self.inject_q.iter().enumerate() {
+            let at = NodeId(idx as u16);
+            for f in q {
+                if f.is_head()
+                    && self.routes.permitted(f.src, at, Direction::Local, f.dst).is_empty()
+                {
+                    doomed.insert(f.packet);
+                }
+            }
+        }
+        for pid in &doomed {
+            salvage.remove(pid);
+        }
+        stats.salvaged_packets += salvage.len() as u64;
+        // Purge every trace of the severed packets: router FIFOs and
+        // locks, surviving channel queues, source queues, bookkeeping.
+        for r in &mut self.routers {
+            stats.stranded_flits += r.purge(&doomed);
+        }
+        for ch in self.channels.values_mut() {
+            let before = ch.in_flight.len();
+            ch.in_flight.retain(|(_, f)| !doomed.contains(&f.packet));
+            stats.stranded_flits += (before - ch.in_flight.len()) as u64;
+        }
+        for q in &mut self.inject_q {
+            let before = q.len();
+            q.retain(|f| !doomed.contains(&f.packet));
+            stats.stranded_flits += (before - q.len()) as u64;
+        }
+        stats.stranded_packets += doomed.len() as u64;
+        for pid in &doomed {
+            self.packets.remove(pid);
+            self.corrupt_xor.remove(pid);
+            self.flow_tags.remove(pid);
+        }
+        // Open the reconfiguration window (the table itself was
+        // rebuilt above, before the routability sweep).
+        stats.reconfig_epochs += 1;
+        if let RoutingMode::Adaptive { reconfig_pause } = self.cfg.routing {
+            self.inject_frozen_until = self.cycle + u64::from(reconfig_pause);
+        }
+    }
+
     /// Advances one cycle; returns packets created this cycle.
     #[allow(clippy::too_many_lines)]
     fn step_cycle(&mut self, stats: &mut NetworkStats, measuring: bool) -> u64 {
         let mesh = self.cfg.mesh;
         let now = self.cycle;
+
+        // 0. Scheduled channel deaths due this cycle.
+        let mut newly_failed: Vec<(u16, usize)> = Vec::new();
+        while self.kill_idx < self.kills.len() && self.kills[self.kill_idx].cycle <= now {
+            let k = self.kills[self.kill_idx];
+            self.kill_idx += 1;
+            let ch = self
+                .channels
+                .get_mut(&(k.node.0, k.dir.index()))
+                .expect("kills validated at construction");
+            if !matches!(ch.state, ChannelState::Failed) {
+                ch.state = ChannelState::Failed;
+                ch.ever_failed = true;
+                newly_failed.push((k.node.0, k.dir.index()));
+            }
+        }
 
         // 1. Channel delivery (in-order, blocked by downstream space),
         //    with the fault process rolled per delivery attempt.
@@ -405,23 +674,21 @@ impl Network {
             let in_port = dir.opposite();
             // Expire transient states.
             let mut open = true;
-            if let Some(l) = &mut ch.lossy {
-                match l.state {
-                    ChannelState::Failed => open = false,
-                    ChannelState::Resyncing { until } => {
-                        if now >= until {
-                            l.state = ChannelState::Up;
-                        } else {
-                            open = false;
-                        }
+            match ch.state {
+                ChannelState::Failed => open = false,
+                ChannelState::Resyncing { until } => {
+                    if now >= until {
+                        ch.state = ChannelState::Up;
+                    } else {
+                        open = false;
                     }
-                    ChannelState::Degraded { until } => {
-                        if now >= until {
-                            l.state = ChannelState::Up;
-                        }
-                    }
-                    ChannelState::Up => {}
                 }
+                ChannelState::Degraded { until } => {
+                    if now >= until {
+                        ch.state = ChannelState::Up;
+                    }
+                }
+                ChannelState::Up => {}
             }
             while open {
                 let Some(&(at, flit)) = ch.in_flight.front() else { break };
@@ -477,15 +744,17 @@ impl Network {
                             l.counts.resyncs += 1;
                             let drain_end = now + u64::from(cfg.resync_penalty);
                             if cfg.fail_after_resyncs.is_some_and(|n| l.head_resyncs >= n) {
-                                l.state = ChannelState::Failed;
+                                ch.state = ChannelState::Failed;
+                                ch.ever_failed = true;
                                 l.counts.failed = true;
+                                newly_failed.push((*node, *diri));
                             } else if l.head_resyncs >= cfg.degrade_after {
                                 l.counts.degrades += 1;
-                                l.state = ChannelState::Degraded {
+                                ch.state = ChannelState::Degraded {
                                     until: drain_end + u64::from(cfg.degrade_cycles),
                                 };
                             } else {
-                                l.state = ChannelState::Resyncing { until: drain_end };
+                                ch.state = ChannelState::Resyncing { until: drain_end };
                             }
                         }
                         open = false;
@@ -493,6 +762,13 @@ impl Network {
                 }
             }
             ch.tick(now);
+        }
+
+        // 1b. Reconfiguration epoch: strand/salvage around every
+        //     channel that died this cycle, then (adaptive mode)
+        //     rebuild the route table and pause injection.
+        if !newly_failed.is_empty() {
+            self.handle_failures(newly_failed, stats);
         }
 
         // 2. Injection: flow senders or the open-loop pattern.
@@ -508,6 +784,7 @@ impl Network {
                 created += 1;
                 if measuring {
                     stats.offered_packets += 1;
+                    stats.injected_flits += u64::from(len);
                 }
             }
         } else {
@@ -519,33 +796,54 @@ impl Network {
                     created += 1;
                     if measuring {
                         stats.offered_packets += 1;
+                        stats.injected_flits += u64::from(self.cfg.packet_len_flits);
                     }
                 }
             }
         }
-        // Move source-queue flits into the routers' Local inputs.
-        for n in mesh.node_ids() {
-            let r = &mut self.routers[n.0 as usize];
-            while r.free_slots(Direction::Local) > 0 {
-                match self.inject_q[n.0 as usize].pop_front() {
-                    Some(f) => r.accept(Direction::Local, f),
-                    None => break,
+        // Move source-queue flits into the routers' Local inputs —
+        // unless a reconfiguration epoch has injection paused (senders
+        // keep queueing; the fabric interface holds them back).
+        if now >= self.inject_frozen_until {
+            for n in mesh.node_ids() {
+                let r = &mut self.routers[n.0 as usize];
+                while r.free_slots(Direction::Local) > 0 {
+                    match self.inject_q[n.0 as usize].pop_front() {
+                        Some(f) => r.accept(Direction::Local, f),
+                        None => break,
+                    }
                 }
             }
         }
 
-        // 3. Switch allocation and traversal.
+        // 3. Switch allocation and traversal. The route closure is
+        //    the single routing decision point: static XY, or the
+        //    adaptive table biased by per-channel health and queue
+        //    depth (the link monitors' view).
+        let adaptive = self.cfg.routing.is_adaptive();
         for n in mesh.node_ids() {
             let idx = n.0 as usize;
-            // Split borrows: collect sendability first.
+            // Split borrows: collect sendability and health first.
             let mut can = [true; 5];
-            for dir in [Direction::North, Direction::South, Direction::East, Direction::West] {
-                can[dir.index()] = self
-                    .channels
-                    .get(&(n.0, dir.index()))
-                    .is_some_and(Channel::can_accept);
+            let mut score = [0u32; 5];
+            for dir in Direction::CARDINAL {
+                let ch = self.channels.get(&(n.0, dir.index()));
+                can[dir.index()] = ch.is_some_and(Channel::can_accept);
+                score[dir.index()] = ch.map_or(LinkHealth::Failed.penalty(), |c| {
+                    c.health().penalty() + c.in_flight.len() as u32
+                });
             }
-            let moves = self.routers[idx].step(&mesh, |d| can[d.index()]);
+            let routes = &self.routes;
+            let moves = self.routers[idx].step(
+                |in_port, flit| {
+                    if adaptive {
+                        routes.choose(flit.src, n, in_port, flit.dst, |d| score[d.index()])
+                    } else {
+                        Some(mesh.route_xy(n, flit.dst))
+                    }
+                },
+                |d| can[d.index()],
+            );
             for (out, flit) in moves {
                 if out == Direction::Local {
                     // Ejected at the destination core.
@@ -573,6 +871,7 @@ impl Network {
                                 created += 1;
                                 if measuring {
                                     stats.offered_packets += 1;
+                                    stats.injected_flits += 1;
                                 }
                             }
                         }
@@ -620,6 +919,8 @@ mod tests {
             input_queue_flits: 8,
             packet_len_flits: 4,
             faults: None,
+            routing: RoutingMode::XyStatic,
+            link_kills: Vec::new(),
         }
     }
 
@@ -806,9 +1107,15 @@ mod tests {
         let stats = net.run(30_000, 0);
         assert!(stats.recovery.failed_links > 0, "the storm must kill at least one link");
         assert!(stats.recovery.counts.failed);
-        // Failed links strand in-flight packets but the rest routes on.
+        // Failed links strand in-flight packets but the rest routes
+        // on; the stranding is no longer silent — flits caught on the
+        // dead wires are counted.
         assert!(stats.delivered_packets > 0);
-        assert!(stats.in_flight > 0, "packets behind a dead link stay stranded");
+        assert!(
+            stats.in_flight + stats.stranded_packets > 0,
+            "packets behind a dead link stay stranded"
+        );
+        assert!(stats.stranded_flits > 0, "the dead wires held flits");
     }
 
     #[test]
@@ -884,6 +1191,116 @@ mod tests {
             last.stalled_channels
         );
         assert!(report.net.recovery.failed_links > 0);
+    }
+
+    /// Flows whose XY paths cross row 0 between columns 1 and 2, in
+    /// both directions — a single dead physical link starves both.
+    fn row0_flows() -> FlowConfig {
+        FlowConfig::new(vec![
+            FlowSpec { src: NodeId(0), dst: NodeId(15), packets: 30 },
+            FlowSpec { src: NodeId(3), dst: NodeId(12), packets: 30 },
+        ])
+    }
+
+    fn kill_row0(cycle: u64) -> Vec<LinkKill> {
+        LinkKill::both_ways(&Mesh::new(4, 4), cycle, NodeId(1), Direction::East).to_vec()
+    }
+
+    #[test]
+    fn adaptive_routing_survives_a_scheduled_link_kill() {
+        let cfg = NetworkConfig {
+            routing: RoutingMode::adaptive(),
+            link_kills: kill_row0(100),
+            ..base_cfg(LinkModel::ideal())
+        };
+        let mut net = Network::with_flows(cfg, &row0_flows(), 9);
+        let report = net.run_flows(300_000);
+        assert!(report.completed, "rerouting must carry the flows around the dead link");
+        assert!(!report.livelocked);
+        for f in &report.flows {
+            assert_eq!(f.delivered, 30, "flow {:?}", f.flow);
+            assert_eq!(f.counts.dup_delivered, 0, "exactly-once violated");
+            assert_eq!(f.counts.accepted_corrupt, 0);
+        }
+        assert!(report.net.reconfig_epochs >= 1, "the kill must trigger an epoch");
+        assert_eq!(report.net.recovery.failed_links, 2, "both directions died");
+    }
+
+    #[test]
+    fn xy_static_livelocks_at_the_same_scheduled_kill() {
+        // The twin of the test above with rerouting disabled: the old
+        // behaviour — flows starve behind the dead row-0 link and the
+        // watchdog names them — is pinned, not silently changed.
+        let cfg = NetworkConfig { link_kills: kill_row0(100), ..base_cfg(LinkModel::ideal()) };
+        let mut net = Network::with_flows(cfg, &row0_flows(), 9);
+        let report = net.run_flows(300_000);
+        assert!(!report.completed, "static XY has no way around the dead row");
+        assert!(report.livelocked, "the watchdog must declare livelock");
+        let last = report.stalls.last().expect("livelock must come with a report");
+        assert!(last.hard);
+        assert!(!last.starved.is_empty(), "the starved flows must be named");
+        assert!(
+            last.stalled_channels.iter().any(|c| c.state == "failed"),
+            "the dead channel must be named: {:?}",
+            last.stalled_channels
+        );
+        assert_eq!(report.net.reconfig_epochs, 0, "XY never reconfigures");
+        assert!(report.net.residual_flits > 0, "wedged flits stay in the fabric");
+    }
+
+    #[test]
+    fn adaptive_salvage_and_strand_counters_are_consistent() {
+        // Open-loop traffic with a mid-run kill: every stranded flit
+        // and packet is accounted, and the table rebuilt exactly once.
+        let cfg = NetworkConfig {
+            routing: RoutingMode::adaptive(),
+            link_kills: kill_row0(1_000),
+            ..base_cfg(LinkModel::ideal())
+        };
+        let mut net = Network::new(cfg, TrafficPattern::UniformRandom, 0.2, 31);
+        let stats = net.run(6_000, 0);
+        assert_eq!(stats.reconfig_epochs, 1);
+        assert_eq!(stats.recovery.failed_links, 2);
+        assert!(stats.delivered_packets > 100, "the mesh keeps routing after the kill");
+        assert_eq!(
+            stats.injected_flits,
+            stats.delivered_flits + stats.stranded_flits + stats.residual_flits,
+            "flit conservation violated"
+        );
+    }
+
+    #[test]
+    fn severing_a_node_triggers_the_last_resort_retrain() {
+        // Kill BOTH links adjacent to corner node 0: no failure-set
+        // subset keeps it reachable, so reconfiguration alone cannot
+        // route around the hole. The fabric manager must revive
+        // channels through the deep retrain and the flows must still
+        // complete exactly once.
+        let mesh = Mesh::new(4, 4);
+        let mut kills = LinkKill::both_ways(&mesh, 150, NodeId(0), Direction::East).to_vec();
+        kills.extend(LinkKill::both_ways(&mesh, 150, NodeId(0), Direction::South));
+        let cfg = NetworkConfig {
+            routing: RoutingMode::adaptive(),
+            link_kills: kills,
+            ..base_cfg(LinkModel::ideal())
+        };
+        let flows = FlowConfig::new(vec![
+            FlowSpec { src: NodeId(0), dst: NodeId(15), packets: 30 },
+            FlowSpec { src: NodeId(15), dst: NodeId(0), packets: 30 },
+        ]);
+        let mut net = Network::with_flows(cfg, &flows, 9);
+        let report = net.run_flows(300_000);
+        assert!(report.completed, "retrained links must keep the severed corner alive");
+        for f in &report.flows {
+            assert_eq!(f.delivered, 30, "flow {:?}", f.flow);
+            assert_eq!(f.counts.dup_delivered, 0, "exactly-once violated");
+        }
+        assert!(
+            report.net.retrained_links >= 2,
+            "isolating a corner needs at least one revived link per direction, got {}",
+            report.net.retrained_links
+        );
+        assert_eq!(report.net.recovery.failed_links, 4, "all four kills are recorded");
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct Flit {
     pub packet: PacketId,
     /// Kind within the packet.
     pub kind: FlitKind,
+    /// Source node (odd-even routing may turn freely only in the
+    /// source column, so the route function needs it; replicated like
+    /// `dst` so routers need no packet table).
+    pub src: NodeId,
     /// Destination (replicated so routers need no packet table).
     pub dst: NodeId,
     /// Sequence number within the packet (0 = head).
@@ -64,7 +68,7 @@ impl Packet {
                     (i, n) if i + 1 == n => FlitKind::Tail,
                     _ => FlitKind::Body,
                 };
-                Flit { packet: self.id, kind, dst: self.dst, seq: i }
+                Flit { packet: self.id, kind, src: self.src, dst: self.dst, seq: i }
             })
             .collect()
     }

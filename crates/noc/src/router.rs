@@ -1,20 +1,25 @@
 //! The 5-port input-buffered wormhole switch.
 
+use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
-use crate::{Direction, Flit, Mesh, NodeId};
+use crate::{Direction, Flit, PacketId};
 
-/// One router of the mesh: five input FIFOs (N/S/E/W/Local), XY route
-/// computation at each head flit, round-robin output arbitration, and
-/// wormhole locking (an output granted to a packet stays granted until
-/// its tail passes).
+/// One router of the mesh: five input FIFOs (N/S/E/W/Local), a route
+/// decision per head flit (delegated to the network's route table —
+/// the router itself holds no routing policy), round-robin output
+/// arbitration, and wormhole locking (an output granted to a packet
+/// stays granted until its tail passes).
 #[derive(Debug)]
 pub struct Router {
-    node: NodeId,
+    node: crate::NodeId,
     inputs: [VecDeque<Flit>; 5],
     capacity: usize,
-    /// Which input currently owns each output (wormhole lock).
-    output_owner: [Option<usize>; 5],
+    /// Which input and packet currently own each output (wormhole
+    /// lock). Tracking the packet id (not just the input) lets the
+    /// lock survive interleaved arrivals and lets reconfiguration
+    /// salvage or sever it precisely.
+    output_owner: [Option<(usize, PacketId)>; 5],
     /// Round-robin arbitration pointer per output.
     rr: [usize; 5],
 }
@@ -25,7 +30,7 @@ impl Router {
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
-    pub fn new(node: NodeId, capacity: usize) -> Self {
+    pub fn new(node: crate::NodeId, capacity: usize) -> Self {
         assert!(capacity >= 1, "input queue needs capacity");
         Router {
             node,
@@ -37,7 +42,7 @@ impl Router {
     }
 
     /// The node this router serves.
-    pub fn node(&self) -> NodeId {
+    pub fn node(&self) -> crate::NodeId {
         self.node
     }
 
@@ -64,11 +69,18 @@ impl Router {
     }
 
     /// Arbitration + switch traversal for one cycle: returns up to one
-    /// flit per output port as `(output, flit)`. `can_send(output)`
-    /// tells the router whether the downstream channel can accept a
-    /// flit this cycle (`Local` ejection is always possible).
-    pub fn step<F>(&mut self, mesh: &Mesh, mut can_send: F) -> Vec<(Direction, Flit)>
+    /// flit per output port as `(output, flit)`.
+    ///
+    /// `route(in_port, head)` is the single routing decision point: it
+    /// names the output the head flit (which arrived on `in_port`)
+    /// must take, or `None` if the destination is currently
+    /// unroutable (the head waits; the flow watchdog names persistent
+    /// cases). `can_send(output)` tells the router whether the
+    /// downstream channel can accept a flit this cycle (`Local`
+    /// ejection is always possible).
+    pub fn step<R, F>(&mut self, mut route: R, mut can_send: F) -> Vec<(Direction, Flit)>
     where
+        R: FnMut(Direction, &Flit) -> Option<Direction>,
         F: FnMut(Direction) -> bool,
     {
         let mut moves = Vec::new();
@@ -83,8 +95,21 @@ impl Router {
                         continue; // no U-turns
                     }
                     if let Some(head) = self.inputs[ii].front() {
-                        if head.is_head() && mesh.route_xy(self.node, head.dst) == out {
-                            self.output_owner[oi] = Some(ii);
+                        // An adaptive route may prefer a different
+                        // output each cycle as queue depths shift; a
+                        // packet that already owns an output must not
+                        // be granted a second one, or the worm splits
+                        // across outputs and the abandoned lock is
+                        // orphaned forever.
+                        let already_owns = self
+                            .output_owner
+                            .iter()
+                            .any(|o| o.is_some_and(|(_, p)| p == head.packet));
+                        if head.is_head()
+                            && !already_owns
+                            && route(Direction::ALL[ii], head) == Some(out)
+                        {
+                            self.output_owner[oi] = Some((ii, head.packet));
                             self.rr[oi] = (ii + 1) % 5;
                             break;
                         }
@@ -92,21 +117,20 @@ impl Router {
                 }
             }
             // Traverse: forward one flit from the owning input.
-            if let Some(ii) = self.output_owner[oi] {
+            if let Some((ii, pid)) = self.output_owner[oi] {
                 if !can_send(out) {
                     continue;
                 }
                 // The owning input's front flit may not have arrived yet.
                 let Some(front) = self.inputs[ii].front() else { continue };
-                // Only forward flits of the owning packet: the head
-                // established the claim; body/tail follow in FIFO order.
-                let flit = *front;
-                if flit.is_head() && mesh.route_xy(self.node, flit.dst) != out {
-                    // A different packet's head reached the front; the
-                    // lock is stale only after a tail, so this cannot
-                    // happen — defensive skip.
+                // Only forward flits of the owning packet — the head
+                // established the claim; body/tail follow in FIFO
+                // order, so a different packet at the front means the
+                // owner's next flit is still in flight upstream.
+                if front.packet != pid {
                     continue;
                 }
+                let flit = *front;
                 self.inputs[ii].pop_front();
                 if flit.is_tail() {
                     self.output_owner[oi] = None;
@@ -116,27 +140,73 @@ impl Router {
         }
         moves
     }
+
+    /// Reconfiguration surgery: removes every queued flit of the
+    /// `doomed` packets and releases any wormhole lock they own.
+    /// Returns the number of flits removed.
+    pub(crate) fn purge(&mut self, doomed: &BTreeSet<PacketId>) -> u64 {
+        let mut removed = 0u64;
+        for q in &mut self.inputs {
+            let before = q.len();
+            q.retain(|f| !doomed.contains(&f.packet));
+            removed += (before - q.len()) as u64;
+        }
+        for owner in &mut self.output_owner {
+            if owner.is_some_and(|(_, pid)| doomed.contains(&pid)) {
+                *owner = None;
+            }
+        }
+        removed
+    }
+
+    /// Reconfiguration surgery: releases the wormhole lock on `out`
+    /// (whose downstream channel just died) and reports the owning
+    /// packet. The second element is `true` if the packet is
+    /// *salvageable* — its head flit is still queued here, so after a
+    /// route-table rebuild it simply re-routes; `false` means the
+    /// head already crossed the dead wire and the packet is severed.
+    pub(crate) fn disown_output(&mut self, out: Direction) -> Option<(PacketId, bool)> {
+        let (ii, pid) = self.output_owner[out.index()].take()?;
+        let head_still_here = self.inputs[ii]
+            .front()
+            .is_some_and(|f| f.packet == pid && f.is_head());
+        Some((pid, head_still_here))
+    }
+
+    /// Every queued head flit with the input port it arrived on (the
+    /// reconfiguration sweep checks each against the rebuilt table).
+    pub(crate) fn queued_heads(&self) -> impl Iterator<Item = (Direction, &Flit)> {
+        Direction::ALL.into_iter().flat_map(move |d| {
+            self.inputs[d.index()].iter().filter(|f| f.is_head()).map(move |f| (d, f))
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FlitKind, Packet, PacketId};
+    use crate::{FlitKind, Mesh, NodeId, Packet};
 
     fn flits_of(id: u64, dst: NodeId, len: u32) -> Vec<Flit> {
         Packet { id: PacketId(id), src: NodeId(0), dst, len_flits: len, inject_cycle: 0 }.flits()
     }
 
+    /// The pre-reroute behaviour: static XY from the mesh.
+    fn xy(mesh: Mesh, node: NodeId) -> impl FnMut(Direction, &Flit) -> Option<Direction> {
+        move |_in, f| Some(mesh.route_xy(node, f.dst))
+    }
+
     #[test]
     fn routes_local_injection_east() {
         let mesh = Mesh::new(3, 1);
-        let mut r = Router::new(mesh.node(0, 0), 4);
+        let node = mesh.node(0, 0);
+        let mut r = Router::new(node, 4);
         for f in flits_of(1, mesh.node(2, 0), 3) {
             r.accept(Direction::Local, f);
         }
         let mut all = Vec::new();
         for _ in 0..3 {
-            all.extend(r.step(&mesh, |_| true));
+            all.extend(r.step(xy(mesh, node), |_| true));
         }
         assert_eq!(all.len(), 3);
         assert!(all.iter().all(|(d, _)| *d == Direction::East));
@@ -160,7 +230,7 @@ mod tests {
         }
         let mut order = Vec::new();
         for _ in 0..8 {
-            for (d, f) in r.step(&mesh, |_| true) {
+            for (d, f) in r.step(xy(mesh, mid), |_| true) {
                 assert_eq!(d, Direction::East);
                 order.push(f.packet.0);
             }
@@ -173,14 +243,15 @@ mod tests {
     #[test]
     fn backpressure_holds_flits() {
         let mesh = Mesh::new(2, 1);
-        let mut r = Router::new(mesh.node(0, 0), 4);
+        let node = mesh.node(0, 0);
+        let mut r = Router::new(node, 4);
         for f in flits_of(1, mesh.node(1, 0), 2) {
             r.accept(Direction::Local, f);
         }
-        let moves = r.step(&mesh, |_| false); // channel refuses
+        let moves = r.step(xy(mesh, node), |_| false); // channel refuses
         assert!(moves.is_empty());
         assert_eq!(r.occupancy(), 2);
-        let moves = r.step(&mesh, |_| true);
+        let moves = r.step(xy(mesh, node), |_| true);
         assert_eq!(moves.len(), 1);
     }
 
@@ -192,8 +263,105 @@ mod tests {
         for f in flits_of(9, n, 1) {
             r.accept(Direction::North, f);
         }
-        let moves = r.step(&mesh, |_| true);
+        let moves = r.step(xy(mesh, n), |_| true);
         assert_eq!(moves.len(), 1);
         assert_eq!(moves[0].0, Direction::Local);
+    }
+
+    #[test]
+    fn unroutable_head_waits() {
+        let mesh = Mesh::new(3, 1);
+        let node = mesh.node(0, 0);
+        let mut r = Router::new(node, 4);
+        for f in flits_of(1, mesh.node(2, 0), 2) {
+            r.accept(Direction::Local, f);
+        }
+        let moves = r.step(|_, _| None, |_| true);
+        assert!(moves.is_empty(), "unroutable head must wait, not misroute");
+        assert_eq!(r.occupancy(), 2);
+        // Routability restored (reconfiguration): traffic resumes.
+        let moves = r.step(xy(mesh, node), |_| true);
+        assert_eq!(moves.len(), 1);
+    }
+
+    #[test]
+    fn a_flapping_route_cannot_split_a_worm_across_outputs() {
+        let mesh = Mesh::new(3, 3);
+        let mid = mesh.node(1, 1);
+        let dst = mesh.node(2, 2);
+        let mut r = Router::new(mid, 8);
+        for f in flits_of(7, dst, 3) {
+            r.accept(Direction::Local, f);
+        }
+        // Cycle 1: the adaptive route prefers East; East is granted
+        // but its channel refuses.
+        assert!(r.step(|_, _| Some(Direction::East), |d| d != Direction::East).is_empty());
+        // Cycle 2: queue-depth bias now prefers South. The packet
+        // already owns East, so South must not be granted too —
+        // otherwise the worm splits across outputs and East's lock is
+        // orphaned forever once the tail leaves through South.
+        assert!(r.step(|_, _| Some(Direction::South), |d| d != Direction::East).is_empty());
+        // East reopens: the whole worm leaves through it, whatever
+        // the route closure says now.
+        let mut outs = Vec::new();
+        for _ in 0..4 {
+            for (d, f) in r.step(|_, _| Some(Direction::South), |_| true) {
+                outs.push((d, f.packet.0));
+            }
+        }
+        assert_eq!(outs, vec![(Direction::East, 7); 3]);
+        // The tail released the lock: a new packet can claim East.
+        for f in flits_of(8, dst, 1) {
+            r.accept(Direction::West, f);
+        }
+        assert_eq!(r.step(|_, _| Some(Direction::East), |_| true).len(), 1);
+    }
+
+    #[test]
+    fn purge_removes_flits_and_releases_locks() {
+        let mesh = Mesh::new(3, 1);
+        let node = mesh.node(0, 0);
+        let mut r = Router::new(node, 8);
+        let dst = mesh.node(2, 0);
+        for f in flits_of(1, dst, 3) {
+            r.accept(Direction::West, f);
+        }
+        for f in flits_of(2, dst, 3) {
+            r.accept(Direction::Local, f);
+        }
+        // Grant the East output to packet 1 (West input wins the round
+        // robin) and move its head out.
+        let moves = r.step(xy(mesh, node), |_| true);
+        assert_eq!(moves.len(), 1);
+        let removed = r.purge(&BTreeSet::from([PacketId(1)]));
+        assert_eq!(removed, 2, "two queued flits of packet 1 removed");
+        // The lock was released: packet 2 wins East immediately.
+        let moves = r.step(xy(mesh, node), |_| true);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].1.packet, PacketId(2));
+    }
+
+    #[test]
+    fn disown_reports_salvage_only_before_the_head_crossed() {
+        let mesh = Mesh::new(3, 1);
+        let node = mesh.node(0, 0);
+        let dst = mesh.node(2, 0);
+        // Case 1: lock granted, head forwarded — severed.
+        let mut r = Router::new(node, 8);
+        for f in flits_of(1, dst, 3) {
+            r.accept(Direction::Local, f);
+        }
+        assert_eq!(r.step(xy(mesh, node), |_| true).len(), 1);
+        assert_eq!(r.disown_output(Direction::East), Some((PacketId(1), false)));
+        // Case 2: lock granted but channel refused — head still here,
+        // salvageable.
+        let mut r = Router::new(node, 8);
+        for f in flits_of(2, dst, 3) {
+            r.accept(Direction::Local, f);
+        }
+        assert!(r.step(xy(mesh, node), |_| false).is_empty());
+        assert_eq!(r.disown_output(Direction::East), Some((PacketId(2), true)));
+        // Unlocked outputs report nothing.
+        assert_eq!(r.disown_output(Direction::West), None);
     }
 }

@@ -44,6 +44,34 @@ pub struct NetworkStats {
     /// Packets ejected carrying an undetected payload corruption
     /// (nonzero accumulated bit-flip mask from the lossy channels).
     pub corrupt_packets: u64,
+    /// Flits entering the fabric during measurement (the left side of
+    /// the conservation law: in flow mode, which measures from cycle
+    /// 0, `injected_flits = delivered_flits + stranded_flits +
+    /// residual_flits` holds exactly and is asserted per run).
+    pub injected_flits: u64,
+    /// Flits lost to channel deaths: caught mid-flight on a wire that
+    /// entered `Failed`, or purged with a severed packet during
+    /// reconfiguration. Before this counter they stranded silently.
+    pub stranded_flits: u64,
+    /// Packets that lost at least one flit to a channel death. Their
+    /// recovery (if any) is the transport layer's retransmission.
+    pub stranded_packets: u64,
+    /// Packets whose wormhole lock pointed into a dying channel but
+    /// whose head had not crossed yet: reconfiguration released the
+    /// lock and they re-routed intact.
+    pub salvaged_packets: u64,
+    /// Flits still queued in the fabric (router FIFOs, live channel
+    /// queues, source queues) when the run ended.
+    pub residual_flits: u64,
+    /// Reconfiguration epochs performed (adaptive routing: route
+    /// table rebuilds triggered by channel deaths).
+    pub reconfig_epochs: u64,
+    /// Failed channels revived by the last-resort deep retrain: a
+    /// reconfiguration found the failure pattern had severed part of
+    /// the fabric (some source could no longer reach some
+    /// destination), and rather than abandon the node the fabric
+    /// manager put the link back through a long resync.
+    pub retrained_links: u64,
     /// Per-channel recovery counters, sorted by `(node, direction)`.
     pub link_recovery: Vec<LinkRecovery>,
     /// Network-wide recovery totals.

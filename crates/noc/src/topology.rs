@@ -36,6 +36,10 @@ impl Direction {
     pub const ALL: [Direction; 5] =
         [Direction::North, Direction::South, Direction::East, Direction::West, Direction::Local];
 
+    /// The four inter-router directions (everything but `Local`).
+    pub const CARDINAL: [Direction; 4] =
+        [Direction::North, Direction::South, Direction::East, Direction::West];
+
     /// Index of this direction in per-port arrays.
     pub fn index(self) -> usize {
         match self {
@@ -147,6 +151,18 @@ impl Mesh {
         (0..self.nodes() as u16).map(NodeId)
     }
 
+    /// Iterates over all directed inter-router channels as
+    /// `(upstream node, direction)`, in node-then-direction order.
+    pub fn directed_channels(&self) -> impl Iterator<Item = (NodeId, Direction)> + '_ {
+        let mesh = *self;
+        self.node_ids().flat_map(move |n| {
+            Direction::CARDINAL
+                .into_iter()
+                .filter(move |&d| mesh.neighbor(n, d).is_some())
+                .map(move |d| (n, d))
+        })
+    }
+
     /// Number of unidirectional inter-router channels in the mesh.
     pub fn channel_count(&self) -> usize {
         let horiz = (self.cols as usize - 1) * self.rows as usize;
@@ -217,6 +233,20 @@ mod tests {
         let m = Mesh::new(4, 4);
         // 2 × (3×4 + 3×4) = 48 unidirectional channels.
         assert_eq!(m.channel_count(), 48);
+    }
+
+    #[test]
+    fn directed_channels_enumerates_every_channel_once() {
+        let m = Mesh::new(4, 3);
+        let chans: Vec<_> = m.directed_channels().collect();
+        assert_eq!(chans.len(), m.channel_count());
+        for &(n, d) in &chans {
+            assert!(m.neighbor(n, d).is_some());
+        }
+        let mut dedup = chans.clone();
+        dedup.sort_by_key(|&(n, d)| (n.0, d.index()));
+        dedup.dedup();
+        assert_eq!(dedup.len(), chans.len());
     }
 
     #[test]

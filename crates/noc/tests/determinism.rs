@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use sal_noc::{
-    ChannelFaults, ChannelProtection, ErrorProcess, FlowConfig, FlowSpec, LinkModel, Mesh,
-    Network, NetworkConfig, NetworkStats, NodeId, TrafficPattern,
+    ChannelFaults, ChannelProtection, Direction, ErrorProcess, FlowConfig, FlowSpec, LinkKill,
+    LinkModel, Mesh, Network, NetworkConfig, NetworkStats, NodeId, RoutingMode, TrafficPattern,
 };
 
 fn cfg(faults: Option<ChannelFaults>) -> NetworkConfig {
@@ -18,6 +18,8 @@ fn cfg(faults: Option<ChannelFaults>) -> NetworkConfig {
         input_queue_flits: 8,
         packet_len_flits: 4,
         faults,
+        routing: RoutingMode::XyStatic,
+        link_kills: Vec::new(),
     }
 }
 
@@ -107,6 +109,51 @@ proptest! {
             net.run_flows(300_000)
         };
         prop_assert_eq!(run(), run());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Equal seeds plus equal failure schedules yield byte-identical
+    /// stats — including the new reroute counters (stranded, salvaged,
+    /// reconfiguration epochs) — under adaptive routing with scheduled
+    /// link kills and a lossy error process on top.
+    #[test]
+    fn reroute_runs_are_byte_identical(
+        seed in 0u64..1_000_000,
+        kill_cycle in 200u64..1_500,
+        kill_link in 0u8..24,
+        rate_mil in 0u32..40,
+    ) {
+        let mesh = Mesh::new(4, 4);
+        // Pick one interior-ish physical link from an enumerable set.
+        let (node, dir) = {
+            let n = NodeId(u16::from(kill_link % 12));
+            let d = if kill_link < 12 { Direction::East } else { Direction::South };
+            (n, d)
+        };
+        let run = || {
+            let mut c = cfg(Some(ChannelFaults::new(
+                ErrorProcess::Iid { p: f64::from(rate_mil) / 1000.0 },
+                ChannelProtection::Crc8,
+            )));
+            c.routing = RoutingMode::adaptive();
+            if mesh.neighbor(node, dir).is_some() {
+                c.link_kills = LinkKill::both_ways(&mesh, kill_cycle, node, dir).to_vec();
+            }
+            let mut net = Network::new(c, TrafficPattern::UniformRandom, 0.15, seed);
+            net.run(4_000, 0)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        if mesh.neighbor(node, dir).is_some() {
+            prop_assert!(a.reconfig_epochs >= 1, "the kill must trigger an epoch");
+            prop_assert!(a.recovery.failed_links >= 2, "both directions died");
+        }
+        prop_assert_eq!(a.stranded_flits, b.stranded_flits);
+        prop_assert_eq!(a.salvaged_packets, b.salvaged_packets);
     }
 }
 

@@ -45,6 +45,8 @@ fn main() {
                     input_queue_flits: 8,
                     packet_len_flits: 4,
                     faults: None,
+                    routing: sal::noc::RoutingMode::XyStatic,
+                    link_kills: Vec::new(),
                 };
                 let mut net = Network::new(cfg, pat, rate, 7);
                 let stats = net.run(8_000, 2_000);

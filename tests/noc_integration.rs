@@ -16,6 +16,8 @@ fn net(link: LinkModel, pattern: TrafficPattern, rate: f64, seed: u64) -> Networ
             input_queue_flits: 8,
             packet_len_flits: 4,
             faults: None,
+            routing: sal::noc::RoutingMode::XyStatic,
+            link_kills: Vec::new(),
         },
         pattern,
         rate,
@@ -100,6 +102,8 @@ fn flows_complete_over_a_lossy_serialized_mesh() {
             ErrorProcess::bursty(0.04, 0.6, 0.05),
             ChannelProtection::Crc8,
         )),
+        routing: sal::noc::RoutingMode::XyStatic,
+        link_kills: Vec::new(),
     };
     let flows = FlowConfig::new(vec![
         FlowSpec { src: NodeId(0), dst: NodeId(15), packets: 60 },
